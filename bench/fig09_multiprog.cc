@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 9: multiprogrammed workloads — pairs of applications with
+ * randomly chosen input sizes, each spawning eight threads on its
+ * own half of the cores.  Metric: system throughput (sum-of-IPC
+ * proxy: retired operations per kilotick), normalized to Host-Only.
+ *
+ * Paper: across 200 random pairs, Locality-Aware outperforms both
+ * Host-Only and PIM-Only for the overwhelming majority of mixes —
+ * per-cache-block locality tracking works even when applications
+ * with different locality behaviour share the machine.  (We run a
+ * reduced deterministic sample of pairs to keep the bench fast;
+ * sizes are drawn from small/medium.)
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.hh"
+#include "common/rng.hh"
+#include "runtime/runtime.hh"
+
+using namespace pei;
+
+namespace
+{
+
+double
+runPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
+        ExecMode mode)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    System sys(cfg);
+    Runtime rt(sys);
+    auto wa = makeWorkload(ka, sa, 11);
+    auto wb = makeWorkload(kb, sb, 13);
+    wa->setup(rt);
+    wb->setup(rt);
+    wa->spawn(rt, 8, 0);
+    wb->spawn(rt, 8, 8);
+    const Tick ticks = rt.run();
+
+    std::string msg;
+    if (!wa->validate(sys, msg) || !wb->validate(sys, msg)) {
+        std::fprintf(stderr, "fig09: validation failed: %s\n",
+                     msg.c_str());
+        std::exit(1);
+    }
+
+    std::uint64_t retired = 0;
+    for (unsigned c = 0; c < sys.numCores(); ++c)
+        retired += sys.core(c).retiredOps();
+    return 1000.0 * static_cast<double>(retired) /
+           static_cast<double>(ticks);
+}
+
+} // namespace
+
+int
+main()
+{
+    peibench::printHeader(
+        "Figure 9", "Multiprogrammed workload pairs (throughput vs "
+                    "Host-Only)",
+        "Locality-Aware beats both static configurations for the "
+        "overwhelming majority of random mixes");
+
+    constexpr int pairs = 10;
+    Rng rng(2015);
+    const auto &kinds = allWorkloadKinds();
+
+    std::printf("%-24s | %9s %9s %9s\n", "pair", "host-only", "pim-only",
+                "loc-aware");
+    int la_best = 0;
+    for (int i = 0; i < pairs; ++i) {
+        const WorkloadKind ka = kinds[rng.below(kinds.size())];
+        const WorkloadKind kb = kinds[rng.below(kinds.size())];
+        const InputSize sa =
+            rng.chance(0.5) ? InputSize::Small : InputSize::Medium;
+        const InputSize sb =
+            rng.chance(0.5) ? InputSize::Small : InputSize::Medium;
+
+        const double host = runPair(ka, sa, kb, sb, ExecMode::HostOnly);
+        const double pim = runPair(ka, sa, kb, sb, ExecMode::PimOnly);
+        const double la =
+            runPair(ka, sa, kb, sb, ExecMode::LocalityAware);
+
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s/%s + %s/%s",
+                      kindName(ka), sizeName(sa), kindName(kb),
+                      sizeName(sb));
+        std::printf("%-24s | %9.3f %9.3f %9.3f%s\n", label, 1.0,
+                    pim / host, la / host,
+                    (la >= host && la >= pim) ? "  <- LA best" : "");
+        la_best += (la >= host && la >= pim);
+    }
+    std::printf("\nLocality-Aware best or tied in %d of %d mixes.\n",
+                la_best, pairs);
+    return 0;
+}

@@ -1,0 +1,88 @@
+#include "harness.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "runtime/runtime.hh"
+
+namespace peibench
+{
+
+RunResult
+runWorkload(const std::function<std::unique_ptr<Workload>()> &factory,
+            ExecMode mode, const ConfigTweak &tweak, unsigned threads)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    if (tweak)
+        tweak(cfg);
+    System sys(cfg);
+    Runtime rt(sys);
+
+    std::unique_ptr<Workload> w = factory();
+    w->setup(rt);
+    w->spawn(rt, threads ? threads : sys.numCores());
+
+    RunResult r;
+    r.ticks = rt.run();
+
+    std::string msg;
+    r.valid = w->validate(sys, msg);
+    if (!r.valid) {
+        std::fprintf(stderr, "bench: %s validation FAILED: %s\n",
+                     w->name(), msg.c_str());
+        std::exit(1);
+    }
+
+    r.peis_host = sys.pmu().peisHost();
+    r.peis_mem = sys.pmu().peisMem();
+    r.offchip_req_bytes = sys.hmc().requestBytes();
+    r.offchip_res_bytes = sys.hmc().responseBytes();
+    r.dram_reads = 0;
+    r.dram_writes = 0;
+    for (unsigned v = 0; v < sys.hmc().totalVaults(); ++v) {
+        r.dram_reads += sys.hmc().vault(v).reads();
+        r.dram_writes += sys.hmc().vault(v).writes();
+    }
+    r.retired_ops = 0;
+    for (unsigned c = 0; c < sys.numCores(); ++c)
+        r.retired_ops += sys.core(c).retiredOps();
+    r.energy = computeEnergy(sys.stats());
+    r.stats = sys.stats().snapshot();
+    return r;
+}
+
+RunResult
+run(WorkloadKind kind, InputSize size, ExecMode mode,
+    const ConfigTweak &tweak)
+{
+    return runWorkload([kind, size] { return makeWorkload(kind, size); },
+                       mode, tweak);
+}
+
+void
+printHeader(const std::string &figure, const std::string &what,
+            const std::string &paper_claim)
+{
+    std::printf("==================================================="
+                "===========================\n");
+    std::printf("%s — %s\n", figure.c_str(), what.c_str());
+    std::printf("Paper: %s\n", paper_claim.c_str());
+    std::printf("Config: SystemConfig::scaled() — 16 cores, 1 MB L3, "
+                "1 HMC x 16 vaults, 5 GB/s/dir links\n");
+    std::printf("==================================================="
+                "===========================\n");
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace peibench

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared bench harness: runs one workload on one system
+ * configuration and collects the metrics the paper's figures plot
+ * (runtime, off-chip traffic split by direction, DRAM accesses,
+ * PEI placement, throughput, energy).
+ *
+ * Every bench binary regenerates one table or figure of the paper;
+ * it prints the paper's claim next to the measured rows so the
+ * comparison is auditable from the raw output.
+ */
+
+#ifndef PEISIM_BENCH_HARNESS_HH
+#define PEISIM_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "workloads/workload.hh"
+
+namespace peibench
+{
+
+using namespace pei;
+
+/** Metrics of one simulation run. */
+struct RunResult
+{
+    Tick ticks = 0;
+    std::uint64_t peis_host = 0;
+    std::uint64_t peis_mem = 0;
+    std::uint64_t offchip_req_bytes = 0;
+    std::uint64_t offchip_res_bytes = 0;
+    std::uint64_t dram_reads = 0;
+    std::uint64_t dram_writes = 0;
+    std::uint64_t retired_ops = 0;
+    bool valid = false;
+    EnergyBreakdown energy;
+    std::map<std::string, std::uint64_t> stats;
+
+    std::uint64_t offchipBytes() const
+    {
+        return offchip_req_bytes + offchip_res_bytes;
+    }
+
+    std::uint64_t dramAccesses() const { return dram_reads + dram_writes; }
+
+    double pimFraction() const
+    {
+        const double total =
+            static_cast<double>(peis_host) + static_cast<double>(peis_mem);
+        return total > 0 ? static_cast<double>(peis_mem) / total : 0.0;
+    }
+
+    /** Sum-of-IPCs proxy: retired ops per tick (×1000 for scale). */
+    double
+    opsPerKilotick() const
+    {
+        return ticks ? 1000.0 * static_cast<double>(retired_ops) /
+                           static_cast<double>(ticks)
+                     : 0.0;
+    }
+};
+
+/** Hook to tweak the SystemConfig before construction. */
+using ConfigTweak = std::function<void(SystemConfig &)>;
+
+/**
+ * Run @p workload (freshly constructed by @p factory) under @p mode
+ * on the scaled configuration.  Validates the output and aborts the
+ * bench on mismatch — a bench over wrong results is meaningless.
+ */
+RunResult runWorkload(const std::function<std::unique_ptr<Workload>()>
+                          &factory,
+                      ExecMode mode, const ConfigTweak &tweak = nullptr,
+                      unsigned threads = 0);
+
+/** Shorthand for the Table 3 workloads. */
+RunResult run(WorkloadKind kind, InputSize size, ExecMode mode,
+              const ConfigTweak &tweak = nullptr);
+
+/** Print the standard bench header. */
+void printHeader(const std::string &figure, const std::string &what,
+                 const std::string &paper_claim);
+
+/** Geometric mean helper. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace peibench
+
+#endif // PEISIM_BENCH_HARNESS_HH

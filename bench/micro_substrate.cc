@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate
+ * itself: the event queue, cache arrays, TLB, PIM directory,
+ * locality monitor, DRAM vault model, and hash utilities.  These
+ * are the ablation hooks DESIGN.md calls out for simulator
+ * performance (events/second govern how large an input every figure
+ * can afford).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+#include "mem/dram.hh"
+#include "mem/vmem.hh"
+#include "pim/locality_monitor.hh"
+#include "pim/pim_directory.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using namespace pei;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            eq.schedule(static_cast<Ticks>(i % 7), [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_FoldedXor(benchmark::State &state)
+{
+    Rng rng(1);
+    std::uint64_t v = rng.next();
+    for (auto _ : state) {
+        v = foldedXor(v, 11) * 0x9E3779B97F4A7C15ULL + 1;
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FoldedXor);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_CacheArrayFindHit(benchmark::State &state)
+{
+    CacheArray array(1 << 20, 16);
+    Rng rng(3);
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 4096; ++i) {
+        const Addr block = rng.next() >> 20;
+        CacheLine &v = array.victim(block);
+        array.fill(v, block, MesiState::Shared);
+        blocks.push_back(block);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.find(blocks[i]));
+        i = (i + 1) % blocks.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayFindHit);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    Tlb tlb(64, 120);
+    Rng rng(4);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 256; ++i)
+        addrs.push_back(rng.below(1 << 28));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.access(addrs[i]));
+        i = (i + 1) % addrs.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_PimDirectoryAcquireRelease(benchmark::State &state)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    PimDirectory dir(eq, 2048, 2, stats, "bm_dir");
+    Rng rng(5);
+    for (auto _ : state) {
+        const Addr block = rng.next() >> 8;
+        bool granted = false;
+        dir.acquire(block, true, [&granted] { granted = true; });
+        eq.run();
+        dir.release(block, true);
+        benchmark::DoNotOptimize(granted);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PimDirectoryAcquireRelease);
+
+void
+BM_LocalityMonitorLookup(benchmark::State &state)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(1024, 16, stats, 10, true, "bm_mon");
+    Rng rng(6);
+    for (int i = 0; i < 16384; ++i)
+        mon.onL3Access(rng.next() >> 16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mon.lookupForPei(rng.next() >> 16));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalityMonitorLookup);
+
+void
+BM_VaultAccess(benchmark::State &state)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    AddrMap map(1, 1, 16, 8192);
+    DramConfig cfg;
+    Vault vault(eq, cfg, map, 0, stats);
+    Rng rng(7);
+    std::uint64_t done = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 16; ++i) {
+            vault.accessBlock(rng.next() & ~0x3FULL & ((1ULL << 30) - 1),
+                              i % 2 == 0, [&done] { ++done; });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_VaultAccess);
+
+void
+BM_VirtualMemoryTranslate(benchmark::State &state)
+{
+    VirtualMemory vm(1ULL << 30);
+    const Addr base = vm.alloc(16 << 20);
+    Rng rng(8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            vm.translate(base + rng.below(16 << 20)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtualMemoryTranslate);
+
+} // namespace
+
+BENCHMARK_MAIN();

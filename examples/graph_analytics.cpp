@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Graph analytics on PEIs: runs PageRank over a power-law (R-MAT)
+ * social-network graph under all four system configurations and
+ * prints the comparison — the scenario the paper's introduction
+ * motivates (random 8-byte updates across a huge vertex array).
+ *
+ *   ./build/examples/graph_analytics [vertices] [edges]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pei;
+
+    const std::uint64_t vertices =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 98304;
+    const std::uint64_t edges =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 786432;
+
+    std::printf("PageRank on an R-MAT graph: %llu vertices, %llu "
+                "edges\n\n",
+                (unsigned long long)vertices, (unsigned long long)edges);
+    std::printf("%-15s %12s %10s %12s %8s\n", "configuration",
+                "ticks(k)", "speedup", "offchip(MB)", "PIM%");
+
+    double base = 0.0;
+    for (ExecMode mode :
+         {ExecMode::IdealHost, ExecMode::HostOnly, ExecMode::PimOnly,
+          ExecMode::LocalityAware}) {
+        System sys(SystemConfig::scaled(mode));
+        Runtime rt(sys);
+        auto pr = makePageRank(vertices, edges, 42, 2);
+        pr->setup(rt);
+        pr->spawn(rt, sys.numCores());
+        const Tick ticks = rt.run();
+
+        std::string msg;
+        if (!pr->validate(sys, msg)) {
+            std::fprintf(stderr, "validation failed: %s\n", msg.c_str());
+            return 1;
+        }
+
+        if (mode == ExecMode::IdealHost)
+            base = static_cast<double>(ticks);
+        const double peis = static_cast<double>(sys.pmu().peisHost() +
+                                                sys.pmu().peisMem());
+        std::printf("%-15s %12llu %9.3fx %12.2f %7.1f%%\n",
+                    execModeName(mode),
+                    (unsigned long long)(ticks / 1000),
+                    base / static_cast<double>(ticks),
+                    static_cast<double>(sys.hmc().offChipBytes()) / 1e6,
+                    peis > 0 ? 100.0 *
+                                   static_cast<double>(
+                                       sys.pmu().peisMem()) /
+                                   peis
+                             : 0.0);
+    }
+
+    std::printf("\nLocality-Aware splits the atomic double-add PEIs: "
+                "hot (hub) vertices stay on the host's\ncaches, "
+                "cold vertices execute inside the memory cube — no "
+                "software hints required.\n");
+    return 0;
+}

@@ -1,0 +1,519 @@
+#include "hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+bool
+hasWritePerm(MesiState s)
+{
+    return s == MesiState::Exclusive || s == MesiState::Modified;
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(EventQueue &eq, const CacheConfig &cfg,
+                               unsigned cores, HmcController &hmc,
+                               StatRegistry &stats)
+    : eq(eq), cfg(cfg), hmc(hmc), l3(cfg.l3_bytes, cfg.l3_ways),
+      core_mshrs(cores), core_stalled(cores)
+{
+    fatal_if(cores == 0 || cores > 32, "unsupported core count %u", cores);
+    privs.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c)
+        privs.emplace_back(cfg);
+
+    stats.add("cache.l1_hits", &stat_l1_hits);
+    stats.add("cache.l1_misses", &stat_l1_misses);
+    stats.add("cache.l2_hits", &stat_l2_hits);
+    stats.add("cache.l2_misses", &stat_l2_misses);
+    stats.add("cache.l3_hits", &stat_l3_hits);
+    stats.add("cache.l3_misses", &stat_l3_misses);
+    stats.add("cache.l1_accesses", &stat_l1_accesses);
+    stats.add("cache.l2_accesses", &stat_l2_accesses);
+    stats.add("cache.l3_accesses", &stat_l3_accesses);
+    stats.add("cache.xbar_msgs", &stat_xbar_msgs);
+    stats.add("cache.writebacks_l3", &stat_writebacks_l3);
+    stats.add("cache.writebacks_mem", &stat_writebacks_mem);
+    stats.add("cache.invalidations", &stat_invalidations);
+    stats.add("cache.back_invalidations", &stat_back_inval);
+    stats.add("cache.back_writebacks", &stat_back_wb);
+}
+
+void
+CacheHierarchy::access(unsigned core, Addr paddr, bool is_write, Callback cb)
+{
+    panic_if(core >= privs.size(), "access from bad core %u", core);
+    const Addr block = paddr >> block_shift;
+
+    ++stat_l1_accesses;
+    CacheLine *l1line = privs[core].l1.find(block);
+    if (l1line && (!is_write || hasWritePerm(l1line->state))) {
+        ++stat_l1_hits;
+        privs[core].l1.touch(*l1line);
+        if (is_write) {
+            l1line->state = MesiState::Modified;
+            l1line->dirty = true;
+        }
+        eq.schedule(cfg.l1_latency, std::move(cb));
+        return;
+    }
+    ++stat_l1_misses;
+
+    // Core-side MSHRs cover the private L1/L2 miss path: coalesce
+    // same-block requests; stall when out of entries.
+    auto &mshrs = core_mshrs[core];
+    if (auto it = mshrs.find(block); it != mshrs.end()) {
+        it->second.waiters.push_back(
+            [this, core, paddr, is_write, cb = std::move(cb)]() mutable {
+                access(core, paddr, is_write, std::move(cb));
+            });
+        return;
+    }
+    if (mshrs.size() >= cfg.core_mshrs) {
+        core_stalled[core].push_back(
+            [this, core, paddr, is_write, cb = std::move(cb)]() mutable {
+                access(core, paddr, is_write, std::move(cb));
+            });
+        return;
+    }
+    mshrs.emplace(block, Mshr{});
+
+    // Completion wrapper: release the MSHR, wake coalesced waiters
+    // and any globally stalled requests, then signal the requester.
+    auto done = [this, core, block, cb = std::move(cb)]() mutable {
+        auto &table = core_mshrs[core];
+        auto it = table.find(block);
+        panic_if(it == table.end(), "MSHR vanished for block 0x%llx",
+                 static_cast<unsigned long long>(block));
+        auto waiters = std::move(it->second.waiters);
+        table.erase(it);
+        cb();
+        for (auto &w : waiters)
+            w();
+        drainCoreStalled(core);
+    };
+
+    // L2 stage after the L1 lookup latency.
+    eq.schedule(cfg.l1_latency, [this, core, paddr, is_write,
+                                 done = std::move(done)]() mutable {
+        const Addr blk = paddr >> block_shift;
+        ++stat_l2_accesses;
+        CacheLine *l2line = privs[core].l2.find(blk);
+        if (l2line && (!is_write || hasWritePerm(l2line->state))) {
+            ++stat_l2_hits;
+            privs[core].l2.touch(*l2line);
+            MesiState st = l2line->state;
+            if (is_write)
+                st = MesiState::Modified;
+            fillPrivate(core, blk, st);
+            if (is_write) {
+                CacheLine *nl1 = privs[core].l1.find(blk);
+                nl1->dirty = true;
+                l2line->state = MesiState::Modified;
+            }
+            eq.schedule(cfg.l2_latency, std::move(done));
+            return;
+        }
+        ++stat_l2_misses;
+        ++stat_xbar_msgs;
+        eq.schedule(cfg.l2_latency + cfg.xbar_latency,
+                    [this, core, paddr, is_write,
+                     done = std::move(done)]() mutable {
+                        accessL3(core, paddr, is_write, std::move(done));
+                    });
+    });
+}
+
+void
+CacheHierarchy::accessL3(unsigned core, Addr paddr, bool is_write,
+                         Callback done)
+{
+    const Addr block = paddr >> block_shift;
+    ++stat_l3_accesses;
+    if (l3_listener)
+        l3_listener(block);
+
+    // Serialize against an in-flight DRAM fetch of the same block.
+    if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
+        it->second.waiters.push_back(
+            [this, core, paddr, is_write, done = std::move(done)]() mutable {
+                accessL3(core, paddr, is_write, std::move(done));
+            });
+        return;
+    }
+
+    CacheLine *line = l3.find(block);
+    if (line) {
+        ++stat_l3_hits;
+        l3.touch(*line);
+        Ticks lat = cfg.l3_latency + cfg.xbar_latency;
+
+        if (is_write) {
+            // Invalidate all remote private copies; gain ownership.
+            bool remote = false;
+            for (unsigned c = 0; c < privs.size(); ++c) {
+                if (c == core || !(line->sharers & (1u << c)))
+                    continue;
+                remote = true;
+                ++stat_invalidations;
+                if (invalidatePrivate(c, block))
+                    line->dirty = true;
+            }
+            if (remote)
+                lat += 2 * cfg.xbar_latency;
+            line->sharers = 1u << core;
+            line->owner = static_cast<std::int8_t>(core);
+            fillPrivate(core, block, MesiState::Modified);
+            CacheLine *nl1 = privs[core].l1.find(block);
+            nl1->dirty = true;
+        } else {
+            // A remote modified/exclusive owner downgrades to shared.
+            if (line->owner >= 0 &&
+                static_cast<unsigned>(line->owner) != core) {
+                if (downgradePrivate(static_cast<unsigned>(line->owner),
+                                     block)) {
+                    line->dirty = true;
+                    ++stat_writebacks_l3;
+                }
+                lat += 2 * cfg.xbar_latency;
+                line->owner = -1;
+            }
+            line->sharers |= 1u << core;
+            MesiState st = MesiState::Shared;
+            if (line->sharers == (1u << core) && line->owner < 0) {
+                st = MesiState::Exclusive;
+                line->owner = static_cast<std::int8_t>(core);
+            } else if (line->owner == static_cast<std::int8_t>(core)) {
+                st = MesiState::Exclusive;
+            }
+            fillPrivate(core, block, st);
+        }
+        eq.schedule(lat, std::move(done));
+        return;
+    }
+
+    ++stat_l3_misses;
+    if (l3_mshrs.size() >= cfg.l3_mshrs) {
+        l3_stalled.push_back(
+            [this, core, paddr, is_write, done = std::move(done)]() mutable {
+                accessL3(core, paddr, is_write, std::move(done));
+            });
+        return;
+    }
+    l3_mshrs.emplace(block, Mshr{});
+
+    hmc.readBlock(paddr, [this, core, paddr, block, is_write,
+                          done = std::move(done)]() mutable {
+        CacheLine &nl = insertL3(block);
+        nl.sharers = 1u << core;
+        nl.owner = static_cast<std::int8_t>(core);
+        fillPrivate(core, block,
+                    is_write ? MesiState::Modified : MesiState::Exclusive);
+        if (is_write) {
+            CacheLine *nl1 = privs[core].l1.find(block);
+            nl1->dirty = true;
+        }
+        eq.schedule(cfg.l3_latency + cfg.xbar_latency, std::move(done));
+
+        auto it = l3_mshrs.find(block);
+        auto waiters = std::move(it->second.waiters);
+        l3_mshrs.erase(it);
+        for (auto &w : waiters)
+            w();
+        drainL3Stalled();
+    });
+}
+
+void
+CacheHierarchy::fillPrivate(unsigned core, Addr block, MesiState state)
+{
+    auto &pc = privs[core];
+
+    // L2 first (inclusion: L1 ⊆ L2).
+    CacheLine *l2line = pc.l2.find(block);
+    if (!l2line) {
+        CacheLine &v = pc.l2.victim(block);
+        if (v.valid) {
+            const Addr vblock = v.block;
+            // Inclusive: purge the L1 copy, merging dirtiness down.
+            CacheLine *vl1 = pc.l1.find(vblock);
+            bool vdirty = v.dirty;
+            if (vl1) {
+                vdirty |= vl1->dirty;
+                pc.l1.invalidate(*vl1);
+            }
+            // Merge into the L3 line (present by inclusion).
+            CacheLine *vl3 = l3.find(vblock);
+            panic_if(!vl3, "L2 victim 0x%llx missing from inclusive L3",
+                     static_cast<unsigned long long>(vblock));
+            if (vdirty) {
+                vl3->dirty = true;
+                ++stat_writebacks_l3;
+            }
+            vl3->sharers &= ~(1u << core);
+            if (vl3->owner == static_cast<std::int8_t>(core))
+                vl3->owner = -1;
+        }
+        pc.l2.fill(v, block, state);
+        l2line = &v;
+    } else {
+        l2line->state = state;
+        pc.l2.touch(*l2line);
+    }
+
+    // Then L1.
+    CacheLine *l1line = pc.l1.find(block);
+    if (!l1line) {
+        CacheLine &v = pc.l1.victim(block);
+        if (v.valid && v.dirty) {
+            // Merge dirty data into the L2 copy (present by inclusion).
+            CacheLine *vl2 = pc.l2.find(v.block);
+            panic_if(!vl2, "L1 victim 0x%llx missing from inclusive L2",
+                     static_cast<unsigned long long>(v.block));
+            vl2->dirty = true;
+        }
+        pc.l1.fill(v, block, state);
+    } else {
+        l1line->state = state;
+        pc.l1.touch(*l1line);
+    }
+}
+
+bool
+CacheHierarchy::invalidatePrivate(unsigned core, Addr block)
+{
+    auto &pc = privs[core];
+    bool dirty = false;
+    if (CacheLine *l1line = pc.l1.find(block)) {
+        dirty |= l1line->dirty;
+        pc.l1.invalidate(*l1line);
+    }
+    if (CacheLine *l2line = pc.l2.find(block)) {
+        dirty |= l2line->dirty;
+        pc.l2.invalidate(*l2line);
+    }
+    return dirty;
+}
+
+bool
+CacheHierarchy::downgradePrivate(unsigned core, Addr block)
+{
+    auto &pc = privs[core];
+    bool was_dirty = false;
+    if (CacheLine *l1line = pc.l1.find(block)) {
+        was_dirty |= l1line->dirty;
+        l1line->dirty = false;
+        l1line->state = MesiState::Shared;
+    }
+    if (CacheLine *l2line = pc.l2.find(block)) {
+        was_dirty |= l2line->dirty;
+        l2line->dirty = false;
+        l2line->state = MesiState::Shared;
+    }
+    return was_dirty;
+}
+
+CacheLine &
+CacheHierarchy::insertL3(Addr block)
+{
+    CacheLine &v = l3.victim(block);
+    if (v.valid) {
+        const Addr vblock = v.block;
+        bool dirty = v.dirty;
+        // Inclusive policy: back-invalidate every private copy.
+        for (unsigned c = 0; c < privs.size(); ++c) {
+            if (v.sharers & (1u << c))
+                dirty |= invalidatePrivate(c, vblock);
+        }
+        if (dirty) {
+            ++stat_writebacks_mem;
+            hmc.writeBlock(vblock << block_shift);
+        }
+    }
+    l3.fill(v, block, MesiState::Invalid);
+    return v;
+}
+
+void
+CacheHierarchy::backInvalidate(Addr paddr, Callback cb)
+{
+    const Addr block = paddr >> block_shift;
+    ++stat_back_inval;
+
+    if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
+        it->second.waiters.push_back(
+            [this, paddr, cb = std::move(cb)]() mutable {
+                backInvalidate(paddr, std::move(cb));
+            });
+        return;
+    }
+
+    // Inclusion guarantees private copies exist only under an L3
+    // line, whose sharer vector bounds the invalidation fan-out.
+    bool dirty = false;
+    if (CacheLine *line = l3.find(block)) {
+        for (unsigned c = 0; c < privs.size(); ++c) {
+            if (line->sharers & (1u << c))
+                dirty |= invalidatePrivate(c, block);
+        }
+        dirty |= line->dirty;
+        l3.invalidate(*line);
+    }
+    if (dirty) {
+        ++stat_writebacks_mem;
+        hmc.writeBlock(paddr);
+    }
+    eq.schedule(cfg.l3_latency, std::move(cb));
+}
+
+void
+CacheHierarchy::backWriteback(Addr paddr, Callback cb)
+{
+    const Addr block = paddr >> block_shift;
+    ++stat_back_wb;
+
+    if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
+        it->second.waiters.push_back(
+            [this, paddr, cb = std::move(cb)]() mutable {
+                backWriteback(paddr, std::move(cb));
+            });
+        return;
+    }
+
+    CacheLine *line = l3.find(block);
+    bool mem_write = false;
+    if (line) {
+        for (unsigned c = 0; c < privs.size(); ++c) {
+            if ((line->sharers & (1u << c)) &&
+                downgradePrivate(c, block)) {
+                line->dirty = true;
+                ++stat_writebacks_l3;
+            }
+        }
+    }
+    if (line) {
+        line->owner = -1;
+        if (line->dirty) {
+            line->dirty = false;
+            mem_write = true;
+            ++stat_writebacks_mem;
+            hmc.writeBlock(paddr);
+        }
+    }
+    (void)mem_write;
+    eq.schedule(cfg.l3_latency, std::move(cb));
+}
+
+bool
+CacheHierarchy::contains(Addr paddr)
+{
+    const Addr block = paddr >> block_shift;
+    if (l3.find(block))
+        return true;
+    for (auto &pc : privs) {
+        if (pc.l1.find(block) || pc.l2.find(block))
+            return true;
+    }
+    return false;
+}
+
+bool
+CacheHierarchy::l3Contains(Addr paddr)
+{
+    return l3.find(paddr >> block_shift) != nullptr;
+}
+
+MesiState
+CacheHierarchy::l1State(unsigned core, Addr paddr)
+{
+    CacheLine *line = privs[core].l1.find(paddr >> block_shift);
+    return line ? line->state : MesiState::Invalid;
+}
+
+MesiState
+CacheHierarchy::l2State(unsigned core, Addr paddr)
+{
+    CacheLine *line = privs[core].l2.find(paddr >> block_shift);
+    return line ? line->state : MesiState::Invalid;
+}
+
+void
+CacheHierarchy::drainCoreStalled(unsigned core)
+{
+    // Retry while MSHR capacity remains.  Each retried request
+    // either completes, coalesces onto an in-flight miss, or takes a
+    // free MSHR — it never re-stalls while capacity remains, so the
+    // loop strictly shrinks the queue (no quadratic retry storm).
+    auto &queue = core_stalled[core];
+    while (!queue.empty() && core_mshrs[core].size() < cfg.core_mshrs) {
+        Callback fn = std::move(queue.front());
+        queue.pop_front();
+        fn();
+    }
+}
+
+void
+CacheHierarchy::drainL3Stalled()
+{
+    // Same shrinking-queue argument as drainCoreStalled: retried
+    // requests hit, coalesce, or claim a free MSHR; none re-stall
+    // while capacity remains.
+    while (!l3_stalled.empty() && l3_mshrs.size() < cfg.l3_mshrs) {
+        Callback fn = std::move(l3_stalled.front());
+        l3_stalled.pop_front();
+        fn();
+    }
+}
+
+void
+CacheHierarchy::checkInvariants()
+{
+    for (unsigned c = 0; c < privs.size(); ++c) {
+        auto &pc = privs[c];
+
+        // L1 ⊆ L2 with compatible states.
+        pc.l1.forEachValid([&](const CacheLine &l1line) {
+            CacheLine *l2line = pc.l2.find(l1line.block);
+            panic_if(!l2line, "core %u: L1 block 0x%llx not in L2", c,
+                     static_cast<unsigned long long>(l1line.block));
+        });
+
+        // L2 ⊆ L3 with directory agreement.
+        pc.l2.forEachValid([&](const CacheLine &l2line) {
+            CacheLine *l3line = l3.find(l2line.block);
+            panic_if(!l3line, "core %u: L2 block 0x%llx not in L3", c,
+                     static_cast<unsigned long long>(l2line.block));
+            panic_if(!(l3line->sharers & (1u << c)),
+                     "core %u not in sharer set of 0x%llx", c,
+                     static_cast<unsigned long long>(l2line.block));
+            if (l2line.state == MesiState::Exclusive ||
+                l2line.state == MesiState::Modified) {
+                panic_if(l3line->owner != static_cast<std::int8_t>(c),
+                         "core %u holds %s on 0x%llx but L3 owner is %d",
+                         c, mesiName(l2line.state),
+                         static_cast<unsigned long long>(l2line.block),
+                         static_cast<int>(l3line->owner));
+            }
+        });
+    }
+
+    // Directory sharer bits only reference cores that hold the block.
+    l3.forEachValid([&](const CacheLine &l3line) {
+        for (unsigned c = 0; c < privs.size(); ++c) {
+            if (!(l3line.sharers & (1u << c)))
+                continue;
+            panic_if(!privs[c].l2.find(l3line.block),
+                     "stale sharer bit: core %u on block 0x%llx", c,
+                     static_cast<unsigned long long>(l3line.block));
+        }
+    });
+}
+
+} // namespace pei

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Three-level inclusive cache hierarchy with MESI coherence.
+ *
+ * Geometry follows Table 2 of the paper: private L1 (32 KB) and L2
+ * (256 KB) per core, a shared 16 MB L3 reached over a crossbar, MSHRs
+ * at the core side and the L3, and an inclusive policy throughout
+ * (L1 ⊆ L2 ⊆ L3).  Coherence is maintained by an L3-side directory
+ * (per-line sharer vector + owner) orchestrated centrally; state
+ * changes are applied atomically at event execution time while
+ * latency is charged to the requester, which preserves MESI
+ * invariants without a full distributed message protocol.
+ *
+ * The PEI hooks the PMU needs are first-class citizens here:
+ *  - backInvalidate(): flush + invalidate every cached copy of one
+ *    block before a *writer* PEI is offloaded to memory;
+ *  - backWriteback(): force dirty copies back to main memory (copies
+ *    stay cached, clean) before a *reader* PEI is offloaded;
+ *  - an L3-access listener that feeds the PMU's locality monitor.
+ */
+
+#ifndef PEISIM_CACHE_HIERARCHY_HH
+#define PEISIM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/hmc.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** Cache hierarchy configuration (defaults = paper Table 2). */
+struct CacheConfig
+{
+    std::uint64_t l1_bytes = 32 * 1024;
+    unsigned l1_ways = 8;
+    std::uint64_t l2_bytes = 256 * 1024;
+    unsigned l2_ways = 8;
+    std::uint64_t l3_bytes = 16 * 1024 * 1024;
+    unsigned l3_ways = 16;
+
+    Ticks l1_latency = 4;   ///< L1 hit latency (cycles)
+    Ticks l2_latency = 12;  ///< additional L2 latency
+    Ticks l3_latency = 27;  ///< additional L3 (bank) latency
+    Ticks xbar_latency = 8; ///< crossbar one-way latency
+
+    unsigned core_mshrs = 16; ///< per-core outstanding misses
+    unsigned l3_mshrs = 64;   ///< outstanding DRAM fetches
+};
+
+/**
+ * The coherent cache hierarchy for all cores, backed by HMC main
+ * memory.  All methods are callback-based; callbacks fire on the
+ * owning EventQueue when the simulated operation completes.
+ */
+class CacheHierarchy
+{
+  public:
+    using Callback = std::function<void()>;
+
+    CacheHierarchy(EventQueue &eq, const CacheConfig &cfg, unsigned cores,
+                   HmcController &hmc, StatRegistry &stats);
+
+    /**
+     * Timing access from @p core (a demand load/store or a host-side
+     * PCU access, which shares the core's L1 per paper §4.3).
+     * @p cb fires when the access completes.
+     */
+    void access(unsigned core, Addr paddr, bool is_write, Callback cb);
+
+    /**
+     * Flush and invalidate every cached copy of @p paddr's block,
+     * writing dirty data back to main memory (writer-PEI offload).
+     */
+    void backInvalidate(Addr paddr, Callback cb);
+
+    /**
+     * Force dirty copies of @p paddr's block back to main memory;
+     * cached copies remain (clean) (reader-PEI offload).
+     */
+    void backWriteback(Addr paddr, Callback cb);
+
+    /** Register the PMU hook invoked on every L3 access. */
+    void setL3AccessListener(std::function<void(Addr)> fn)
+    {
+        l3_listener = std::move(fn);
+    }
+
+    /** True if any cache level holds @p paddr's block (test hook). */
+    bool contains(Addr paddr);
+
+    /** True if the L3 holds the block (test hook). */
+    bool l3Contains(Addr paddr);
+
+    /** Private-cache MESI state for (core, block) (test hook). */
+    MesiState l1State(unsigned core, Addr paddr);
+    MesiState l2State(unsigned core, Addr paddr);
+
+    /** Verify inclusion and directory invariants; panics on breach. */
+    void checkInvariants();
+
+    unsigned numCores() const { return static_cast<unsigned>(privs.size()); }
+
+  private:
+    struct PrivateCaches
+    {
+        CacheArray l1;
+        CacheArray l2;
+
+        PrivateCaches(const CacheConfig &cfg)
+            : l1(cfg.l1_bytes, cfg.l1_ways), l2(cfg.l2_bytes, cfg.l2_ways)
+        {}
+    };
+
+    /** Outstanding-miss bookkeeping for one block. */
+    struct Mshr
+    {
+        std::vector<Callback> waiters;
+    };
+
+    // --- internal operations (state changes are instantaneous) ---
+
+    /** Handle the L3/directory stage of a demand access. */
+    void accessL3(unsigned core, Addr paddr, bool is_write, Callback cb);
+
+    /** Fill the private L1+L2 of @p core with @p block in @p state. */
+    void fillPrivate(unsigned core, Addr block, MesiState state);
+
+    /** Evict @p core's copies of @p block; returns true if dirty. */
+    bool invalidatePrivate(unsigned core, Addr block);
+
+    /** Write @p core's dirty copy of @p block into the L3 (clean
+     *  downgrade); returns true if data was dirty. */
+    bool downgradePrivate(unsigned core, Addr block);
+
+    /** Insert @p block into the L3, evicting as needed. */
+    CacheLine &insertL3(Addr block);
+
+    /** Retry requests stalled on core-MSHR exhaustion for @p core. */
+    void drainCoreStalled(unsigned core);
+
+    /** Retry a bounded number of L3-MSHR-stalled requests. */
+    void drainL3Stalled();
+
+    EventQueue &eq;
+    CacheConfig cfg;
+    HmcController &hmc;
+
+    std::vector<PrivateCaches> privs;
+    CacheArray l3;
+
+    /** Per-core MSHRs: block -> waiters (includes the L1/L2 level). */
+    std::vector<std::unordered_map<Addr, Mshr>> core_mshrs;
+
+    /** L3 MSHRs: block -> waiters for in-flight DRAM fetches. */
+    std::unordered_map<Addr, Mshr> l3_mshrs;
+
+    /** Requests stalled on core-MSHR exhaustion, per core. */
+    std::vector<std::deque<Callback>> core_stalled;
+
+    /** Requests stalled on L3-MSHR exhaustion. */
+    std::deque<Callback> l3_stalled;
+
+    std::function<void(Addr)> l3_listener;
+
+    Counter stat_l1_hits;
+    Counter stat_l1_misses;
+    Counter stat_l2_hits;
+    Counter stat_l2_misses;
+    Counter stat_l3_hits;
+    Counter stat_l3_misses;
+    Counter stat_l1_accesses;
+    Counter stat_l2_accesses;
+    Counter stat_l3_accesses;
+    Counter stat_xbar_msgs;
+    Counter stat_writebacks_l3;   ///< dirty private data merged into L3
+    Counter stat_writebacks_mem;  ///< dirty L3 victims written to DRAM
+    Counter stat_invalidations;   ///< remote private copies invalidated
+    Counter stat_back_inval;      ///< PMU back-invalidations
+    Counter stat_back_wb;         ///< PMU back-writebacks
+};
+
+} // namespace pei
+
+#endif // PEISIM_CACHE_HIERARCHY_HH

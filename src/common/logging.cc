@@ -1,0 +1,47 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pei
+{
+namespace detail
+{
+
+std::string
+formatv(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<size_t>(len));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    }
+    va_end(args2);
+    return out;
+}
+
+void
+terminate(const char *kind, const std::string &msg, const char *file,
+          int line, bool core_dump)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    std::fflush(stderr);
+    if (core_dump)
+        std::abort();
+    std::exit(1);
+}
+
+void
+message(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+} // namespace pei

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for simulator bugs,
+ * fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef PEISIM_COMMON_LOGGING_HH
+#define PEISIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pei
+{
+
+namespace detail
+{
+
+[[noreturn]] void terminate(const char *kind, const std::string &msg,
+                            const char *file, int line, bool core_dump);
+
+void message(const char *kind, const std::string &msg);
+
+std::string formatv(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Abort the simulation because of an internal simulator bug: a
+ * condition that should never happen regardless of user input.
+ */
+#define panic(...)                                                         \
+    ::pei::detail::terminate("panic", ::pei::detail::formatv(__VA_ARGS__), \
+                             __FILE__, __LINE__, true)
+
+/**
+ * Terminate the simulation because of a user error (bad configuration,
+ * invalid arguments) that prevents the simulation from continuing.
+ */
+#define fatal(...)                                                         \
+    ::pei::detail::terminate("fatal", ::pei::detail::formatv(__VA_ARGS__), \
+                             __FILE__, __LINE__, false)
+
+/** panic() if @p cond does not hold. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) [[unlikely]]                                             \
+            panic(__VA_ARGS__);                                            \
+    } while (0)
+
+/** fatal() if @p cond does not hold. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) [[unlikely]]                                             \
+            fatal(__VA_ARGS__);                                            \
+    } while (0)
+
+/** Non-fatal warning about questionable but survivable behaviour. */
+#define warn(...)                                                          \
+    ::pei::detail::message("warn", ::pei::detail::formatv(__VA_ARGS__))
+
+/** Informational status message. */
+#define inform(...)                                                        \
+    ::pei::detail::message("info", ::pei::detail::formatv(__VA_ARGS__))
+
+} // namespace pei
+
+#endif // PEISIM_COMMON_LOGGING_HH

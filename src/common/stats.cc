@@ -1,0 +1,71 @@
+#include "stats.hh"
+
+#include <sstream>
+
+#include "logging.hh"
+
+namespace pei
+{
+
+void
+StatRegistry::add(const std::string &name, Counter *counter)
+{
+    auto [it, inserted] = counters.emplace(name, counter);
+    (void)it;
+    panic_if(!inserted, "duplicate stat name '%s'", name.c_str());
+}
+
+std::uint64_t
+StatRegistry::sumByPrefix(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        sum += it->second->value();
+    }
+    return sum;
+}
+
+std::uint64_t
+StatRegistry::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    fatal_if(it == counters.end(), "unknown stat '%s'", name.c_str());
+    return it->second->value();
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+std::map<std::string, std::uint64_t>
+StatRegistry::snapshot() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, counter] : counters)
+        out.emplace(name, counter->value());
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, counter] : counters)
+        counter->reset();
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, counter] : counters) {
+        if (counter->value() != 0)
+            os << name << " = " << counter->value() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pei

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components own plain Counter members (hot-path increments are a
+ * single add) and register them by hierarchical dotted name with the
+ * System's StatRegistry at construction time.  Benches snapshot the
+ * registry into a name→value map to compare configurations.
+ */
+
+#ifndef PEISIM_COMMON_STATS_HH
+#define PEISIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pei
+{
+
+/** A 64-bit event counter with negligible increment overhead. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator+=(std::uint64_t v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Registry of named counters.  Names are dotted paths, e.g.
+ * "l3.misses" or "hmc0.vault3.dram_reads".
+ */
+class StatRegistry
+{
+  public:
+    /** Register @p counter under @p name; the counter must outlive
+     *  the registry.  Duplicate names are a simulator bug. */
+    void add(const std::string &name, Counter *counter);
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    std::uint64_t sumByPrefix(const std::string &prefix) const;
+
+    /** Value of the counter registered as @p name (fatal if absent). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if a counter is registered under @p name. */
+    bool has(const std::string &name) const;
+
+    /** Snapshot every counter into a name→value map. */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /** Reset all registered counters to zero. */
+    void resetAll();
+
+    /** Human-readable dump, sorted by name, skipping zero counters. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, Counter *> counters;
+};
+
+} // namespace pei
+
+#endif // PEISIM_COMMON_STATS_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fundamental scalar types and unit literals used across peisim.
+ *
+ * The global simulation tick equals one host-CPU cycle at 4 GHz
+ * (0.25 ns).  All latencies in the codebase are expressed in ticks;
+ * helpers below convert from nanoseconds and from cycles of other
+ * clock domains.
+ */
+
+#ifndef PEISIM_COMMON_TYPES_HH
+#define PEISIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pei
+{
+
+/** Physical or virtual byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Global simulation time unit: one 4 GHz CPU cycle (0.25 ns). */
+using Tick = std::uint64_t;
+
+/** A duration measured in ticks. */
+using Ticks = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr invalid_addr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+/** Last-level cache block size; the PEI single-cache-block unit. */
+constexpr unsigned block_size = 64;
+constexpr unsigned block_shift = 6;
+
+/** Host CPU frequency that defines the tick. */
+constexpr std::uint64_t ticks_per_second = 4'000'000'000ULL;
+
+/** Convert nanoseconds to ticks (4 ticks per ns). */
+constexpr Ticks
+nsToTicks(double ns)
+{
+    return static_cast<Ticks>(ns * 4.0 + 0.5);
+}
+
+/** Convert cycles of a clock domain running at @p mhz to ticks. */
+constexpr Ticks
+cyclesToTicks(std::uint64_t cycles, std::uint64_t mhz)
+{
+    // ticks = cycles * (4000 MHz / mhz)
+    return cycles * 4000ULL / mhz;
+}
+
+/** Byte-size literals. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Align @p addr down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(block_size - 1);
+}
+
+/** Offset of @p addr within its cache block. */
+constexpr unsigned
+blockOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (block_size - 1));
+}
+
+/** True if [addr, addr + size) stays within one cache block. */
+constexpr bool
+fitsInBlock(Addr addr, unsigned size)
+{
+    return size > 0 && blockOffset(addr) + size <= block_size;
+}
+
+} // namespace pei
+
+#endif // PEISIM_COMMON_TYPES_HH

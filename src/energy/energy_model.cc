@@ -1,0 +1,63 @@
+#include "energy_model.hh"
+
+#include "common/types.hh"
+
+namespace pei
+{
+
+EnergyBreakdown
+computeEnergy(const StatRegistry &stats, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+
+    const double l1 = static_cast<double>(stats.get("cache.l1_accesses"));
+    const double l2 = static_cast<double>(stats.get("cache.l2_accesses"));
+    const double l3 = static_cast<double>(stats.get("cache.l3_accesses"));
+    const double xbar = static_cast<double>(stats.get("cache.xbar_msgs"));
+    e.caches = l1 * p.l1_access_pj + l2 * p.l2_access_pj +
+               l3 * p.l3_access_pj + xbar * p.xbar_msg_pj;
+
+    const auto snap = stats.snapshot();
+    double acts = 0.0, reads = 0.0, writes = 0.0, tsv_bytes = 0.0;
+    double host_ops = 0.0, mem_ops = 0.0;
+    for (const auto &[name, value] : snap) {
+        const auto v = static_cast<double>(value);
+        if (name.rfind("vault", 0) == 0) {
+            if (name.find(".activates") != std::string::npos)
+                acts += v;
+            else if (name.find(".reads") != std::string::npos)
+                reads += v;
+            else if (name.find(".writes") != std::string::npos)
+                writes += v;
+            else if (name.find(".tsv_bytes") != std::string::npos)
+                tsv_bytes += v;
+        } else if (name.rfind("host_pcu", 0) == 0 &&
+                   name.find(".executed") != std::string::npos) {
+            host_ops += v;
+        } else if (name.rfind("mem_pcu", 0) == 0 &&
+                   name.find(".executed") != std::string::npos) {
+            mem_ops += v;
+        }
+    }
+    e.dram = acts * p.dram_activate_pj +
+             (reads + writes) * p.dram_access_pj;
+    e.tsv = tsv_bytes / block_size * p.tsv_per_block_pj;
+
+    const double flits =
+        static_cast<double>(stats.get("link.req.flits")) +
+        static_cast<double>(stats.get("link.res.flits"));
+    e.offchip = flits * p.link_flit_pj;
+
+    e.pcu = host_ops * p.host_pcu_op_pj + mem_ops * p.mem_pcu_op_pj;
+
+    const double dir_ops =
+        static_cast<double>(stats.get("pim_dir.acquires"));
+    const double mon_ops =
+        static_cast<double>(stats.get("loc_mon.hits")) +
+        static_cast<double>(stats.get("loc_mon.misses"));
+    e.pmu = dir_ops * p.pim_dir_access_pj + mon_ops * p.loc_mon_access_pj;
+
+    return e;
+}
+
+} // namespace pei

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-event energy model of the memory hierarchy (paper §7.7).
+ *
+ * The paper uses CACTI 6.5 (caches, PMU structures), CACTI-3DD
+ * (3D-stacked DRAM), McPAT (DRAM controllers), a prior-work link
+ * energy model, and synthesized RTL (PCUs).  None of those tools is
+ * available offline, so this model charges a fixed energy per
+ * component event with constants chosen to preserve the ratios that
+ * drive Fig. 12: DRAM array access ≫ off-chip flit ≫ L3 access ≫
+ * L2/L1 access ≫ TSV hop ≫ PCU op ≫ PMU lookup.  Absolute joules are
+ * not meaningful; normalized comparisons between configurations are.
+ */
+
+#ifndef PEISIM_ENERGY_ENERGY_MODEL_HH
+#define PEISIM_ENERGY_ENERGY_MODEL_HH
+
+#include <string>
+
+#include "common/stats.hh"
+
+namespace pei
+{
+
+/** Per-event energy constants in picojoules. */
+struct EnergyParams
+{
+    double l1_access_pj = 10.0;
+    double l2_access_pj = 30.0;
+    double l3_access_pj = 120.0;
+    double xbar_msg_pj = 60.0;
+
+    double dram_activate_pj = 1800.0;
+    double dram_access_pj = 1100.0; ///< column access, one block
+    double tsv_per_block_pj = 40.0; ///< vertical transfer of 64 B
+
+    double link_flit_pj = 620.0; ///< off-chip SerDes, 16 B flit
+
+    double host_pcu_op_pj = 25.0;
+    double mem_pcu_op_pj = 18.0; ///< slower clock, smaller drivers
+    double pim_dir_access_pj = 6.0;
+    double loc_mon_access_pj = 12.0;
+};
+
+/** Energy totals by component, in picojoules. */
+struct EnergyBreakdown
+{
+    double caches = 0.0;   ///< L1 + L2 + L3 + crossbar
+    double dram = 0.0;     ///< activates + column accesses
+    double tsv = 0.0;      ///< vertical transfers
+    double offchip = 0.0;  ///< request + response link flits
+    double pcu = 0.0;      ///< host- and memory-side PCU ops
+    double pmu = 0.0;      ///< PIM directory + locality monitor
+
+    double
+    total() const
+    {
+        return caches + dram + tsv + offchip + pcu + pmu;
+    }
+};
+
+/** Compute the memory-hierarchy energy of a finished simulation. */
+EnergyBreakdown computeEnergy(const StatRegistry &stats,
+                              const EnergyParams &params = {});
+
+} // namespace pei
+
+#endif // PEISIM_ENERGY_ENERGY_MODEL_HH

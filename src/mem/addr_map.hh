@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Physical-address decomposition for the HMC-based main memory.
+ *
+ * Cache blocks are interleaved across cubes, then vaults, then banks
+ * (low-order interleaving), which spreads sequential traffic across
+ * all vaults — the mapping HMC-style memories use to expose maximum
+ * internal parallelism.  Bit layout of a physical address:
+ *
+ *   | row ... | bank | vault | cube | block offset (6 bits) |
+ */
+
+#ifndef PEISIM_MEM_ADDR_MAP_HH
+#define PEISIM_MEM_ADDR_MAP_HH
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pei
+{
+
+/** Location of one cache block inside the memory system. */
+struct MemLoc
+{
+    unsigned cube;       ///< HMC index in the daisy chain
+    unsigned vault;      ///< vault within the cube
+    unsigned bank;       ///< bank within the vault
+    std::uint64_t row;   ///< DRAM row within the bank
+    unsigned globalVault; ///< cube * vaults_per_cube + vault
+};
+
+/** Decodes physical block addresses into memory locations. */
+class AddrMap
+{
+  public:
+    AddrMap(unsigned num_cubes, unsigned vaults_per_cube,
+            unsigned banks_per_vault, std::uint64_t row_bytes)
+        : num_cubes(num_cubes), vaults_per_cube(vaults_per_cube),
+          banks_per_vault(banks_per_vault),
+          cube_bits(ceilLog2(num_cubes)),
+          vault_bits(ceilLog2(vaults_per_cube)),
+          bank_bits(ceilLog2(banks_per_vault)),
+          row_block_bits(ceilLog2(row_bytes / block_size))
+    {
+        fatal_if(!isPowerOf2(num_cubes) || !isPowerOf2(vaults_per_cube) ||
+                     !isPowerOf2(banks_per_vault),
+                 "memory geometry must be powers of two");
+        fatal_if(row_bytes < block_size || !isPowerOf2(row_bytes),
+                 "row size must be a power-of-two multiple of block size");
+    }
+
+    /** Decode @p paddr (any byte address; block granularity). */
+    MemLoc
+    decode(Addr paddr) const
+    {
+        const Addr blk = paddr >> block_shift;
+        unsigned lo = 0;
+        const auto cube = static_cast<unsigned>(bits(blk, lo, cube_bits));
+        lo += cube_bits;
+        const auto vault = static_cast<unsigned>(bits(blk, lo, vault_bits));
+        lo += vault_bits;
+        const auto bank = static_cast<unsigned>(bits(blk, lo, bank_bits));
+        lo += bank_bits;
+        // Row index: remaining bits above the interleave fields,
+        // grouped so that row_block_bits consecutive blocks (after
+        // interleave) share a DRAM row.
+        const std::uint64_t row = blk >> (lo + row_block_bits);
+        return MemLoc{cube, vault, bank, row,
+                      cube * vaults_per_cube + vault};
+    }
+
+    unsigned numCubes() const { return num_cubes; }
+    unsigned vaultsPerCube() const { return vaults_per_cube; }
+    unsigned banksPerVault() const { return banks_per_vault; }
+    unsigned totalVaults() const { return num_cubes * vaults_per_cube; }
+
+  private:
+    unsigned num_cubes;
+    unsigned vaults_per_cube;
+    unsigned banks_per_vault;
+    unsigned cube_bits;
+    unsigned vault_bits;
+    unsigned bank_bits;
+    unsigned row_block_bits;
+};
+
+} // namespace pei
+
+#endif // PEISIM_MEM_ADDR_MAP_HH

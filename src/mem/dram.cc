@@ -1,0 +1,137 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+Vault::Vault(EventQueue &eq, const DramConfig &cfg, const AddrMap &map,
+             unsigned global_id, StatRegistry &stats)
+    : eq(eq), cfg(cfg), map(map), global_id(global_id)
+{
+    t_cl = nsToTicks(cfg.tCL_ns);
+    t_rcd = nsToTicks(cfg.tRCD_ns);
+    t_rp = nsToTicks(cfg.tRP_ns);
+    // Burst: one cache block over the vault's TSV bundle.
+    const double ns = static_cast<double>(block_size) / cfg.tsv_gbps;
+    t_burst = nsToTicks(ns);
+    banks.resize(cfg.banks_per_vault);
+
+    const std::string p = "vault" + std::to_string(global_id) + ".";
+    stats.add(p + "reads", &stat_reads);
+    stats.add(p + "writes", &stat_writes);
+    stats.add(p + "activates", &stat_activates);
+    stats.add(p + "row_hits", &stat_row_hits);
+    stats.add(p + "tsv_bytes", &stat_tsv_bytes);
+}
+
+void
+Vault::accessBlock(Addr paddr, bool is_write, Callback cb)
+{
+    const MemLoc loc = map.decode(paddr);
+    panic_if(loc.globalVault != global_id,
+             "request for vault %u routed to vault %u", loc.globalVault,
+             global_id);
+    queue.push_back(Request{paddr, is_write, loc.row, loc.bank, next_seq++,
+                            std::move(cb)});
+    trySchedule();
+}
+
+void
+Vault::armRetry(Tick when)
+{
+    if (retry_armed && retry_at <= when)
+        return;
+    retry_armed = true;
+    retry_at = when;
+    eq.scheduleAt(when, [this] {
+        retry_armed = false;
+        retry_at = max_tick;
+        trySchedule();
+    });
+}
+
+void
+Vault::trySchedule()
+{
+    const Tick now = eq.now();
+
+    // Issue every request that can start now, FR-FCFS order: first
+    // the oldest row hit on an idle bank, else the oldest request on
+    // an idle bank.
+    bool progress = true;
+    while (progress && !queue.empty()) {
+        progress = false;
+
+        auto ready = [&](const Request &r) {
+            return banks[r.bank].free_at <= now;
+        };
+        auto row_hit = [&](const Request &r) {
+            return banks[r.bank].open_row ==
+                   static_cast<std::int64_t>(r.row);
+        };
+
+        auto pick = queue.end();
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (!ready(*it))
+                continue;
+            if (row_hit(*it)) {
+                pick = it;
+                break; // oldest row hit wins immediately
+            }
+            if (pick == queue.end())
+                pick = it; // oldest ready request as fallback
+        }
+
+        if (pick != queue.end()) {
+            Request req = std::move(*pick);
+            queue.erase(pick);
+
+            Bank &bank = banks[req.bank];
+            Ticks access = 0;
+            if (bank.open_row == static_cast<std::int64_t>(req.row)) {
+                access = t_cl;
+                ++stat_row_hits;
+            } else if (bank.open_row >= 0) {
+                access = t_rp + t_rcd + t_cl;
+                ++stat_activates;
+            } else {
+                access = t_rcd + t_cl;
+                ++stat_activates;
+            }
+            bank.open_row = static_cast<std::int64_t>(req.row);
+
+            // Data moves over the shared TSV bundle after the array
+            // access; serialize transfers.
+            const Tick data_ready = now + access;
+            const Tick xfer_start = std::max(data_ready, tsv_free_at);
+            const Tick done = xfer_start + t_burst;
+            tsv_free_at = done;
+            bank.free_at = done;
+            stat_tsv_bytes += block_size;
+            if (req.is_write)
+                ++stat_writes;
+            else
+                ++stat_reads;
+
+            if (req.cb)
+                eq.scheduleAt(done, std::move(req.cb));
+            progress = true;
+        }
+    }
+
+    if (!queue.empty()) {
+        // All remaining requests wait on busy banks; retry at the
+        // earliest release time.
+        Tick earliest = max_tick;
+        for (const auto &r : queue)
+            earliest = std::min(earliest, banks[r.bank].free_at);
+        panic_if(earliest == max_tick || earliest <= now,
+                 "vault scheduler stuck");
+        armRetry(earliest);
+    }
+}
+
+} // namespace pei

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * DRAM timing model for one HMC vault: per-bank row-buffer state,
+ * FR-FCFS scheduling, and TSV data-bus serialization.
+ *
+ * Timing parameters follow Table 2 of the paper: tCL = tRCD = tRP =
+ * 13.75 ns, 16 banks per vault, 64 TSVs per vault at 2 Gb/s
+ * (16 GB/s of vertical bandwidth per vault).
+ */
+
+#ifndef PEISIM_MEM_DRAM_HH
+#define PEISIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/addr_map.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** Timing/geometry knobs of the per-vault DRAM model. */
+struct DramConfig
+{
+    double tCL_ns = 13.75;  ///< column access latency
+    double tRCD_ns = 13.75; ///< row activate latency
+    double tRP_ns = 13.75;  ///< precharge latency
+    std::uint64_t row_bytes = 8192; ///< row-buffer size per bank
+    unsigned banks_per_vault = 16;
+    /** Vertical (TSV) bandwidth per vault, GB/s. */
+    double tsv_gbps = 16.0;
+};
+
+/**
+ * One vault: a vertical DRAM partition with its own controller on
+ * the logic die.  Requests are scheduled FR-FCFS: among queued
+ * requests whose bank is idle, row hits win; ties break by age.
+ */
+class Vault
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Vault(EventQueue &eq, const DramConfig &cfg, const AddrMap &map,
+          unsigned global_id, StatRegistry &stats);
+
+    /**
+     * Timing access to the block containing @p paddr.  @p cb fires
+     * when read data is available on the logic die / the write has
+     * been committed to the row buffer.
+     */
+    void accessBlock(Addr paddr, bool is_write, Callback cb);
+
+    /** Number of requests currently queued or in flight. */
+    std::size_t pending() const { return queue.size(); }
+
+    unsigned globalId() const { return global_id; }
+
+    std::uint64_t reads() const { return stat_reads.value(); }
+    std::uint64_t writes() const { return stat_writes.value(); }
+    std::uint64_t activates() const { return stat_activates.value(); }
+    std::uint64_t rowHits() const { return stat_row_hits.value(); }
+
+  private:
+    struct Bank
+    {
+        std::int64_t open_row = -1;
+        Tick free_at = 0;
+    };
+
+    struct Request
+    {
+        Addr paddr;
+        bool is_write;
+        std::uint64_t row;
+        unsigned bank;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    void trySchedule();
+    void armRetry(Tick when);
+
+    EventQueue &eq;
+    DramConfig cfg;
+    const AddrMap &map;
+    unsigned global_id;
+
+    Ticks t_cl, t_rcd, t_rp, t_burst;
+
+    std::deque<Request> queue;
+    std::vector<Bank> banks;
+    Tick tsv_free_at = 0;
+    std::uint64_t next_seq = 0;
+    bool retry_armed = false;
+    Tick retry_at = max_tick;
+
+    Counter stat_reads;
+    Counter stat_writes;
+    Counter stat_activates;
+    Counter stat_row_hits;
+    Counter stat_tsv_bytes;
+};
+
+} // namespace pei
+
+#endif // PEISIM_MEM_DRAM_HH

@@ -1,0 +1,144 @@
+#include "hmc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+HmcLink::HmcLink(EventQueue &eq, const HmcLinkConfig &cfg,
+                 const std::string &name, StatRegistry &stats)
+    : eq(eq), cfg(cfg)
+{
+    // bytes/tick = (GB/s) / (ticks/s) * 1e9
+    bytes_per_tick = cfg.gbps * 1e9 / static_cast<double>(ticks_per_second);
+    prop_latency = nsToTicks(cfg.latency_ns);
+    hop_latency = nsToTicks(cfg.hop_ns);
+    stats.add(name + ".flits", &stat_flits);
+    stats.add(name + ".bytes", &stat_bytes);
+}
+
+Tick
+HmcLink::send(unsigned bytes, unsigned cube)
+{
+    // Packets occupy whole flits on the wire.
+    const unsigned flits =
+        (bytes + cfg.flit_bytes - 1) / cfg.flit_bytes;
+    const unsigned wire_bytes = flits * cfg.flit_bytes;
+    const Tick start = std::max(eq.now(), free_at);
+    const auto duration = static_cast<Ticks>(
+        std::ceil(static_cast<double>(wire_bytes) / bytes_per_tick));
+    free_at = start + duration;
+    stat_flits += flits;
+    stat_bytes += wire_bytes;
+    return free_at + prop_latency + hop_latency * cube;
+}
+
+HmcController::HmcController(EventQueue &eq, const HmcConfig &cfg,
+                             const AddrMap &map, StatRegistry &stats)
+    : eq(eq), cfg(cfg), map(map),
+      req_link(eq, cfg.link, "link.req", stats),
+      res_link(eq, cfg.link, "link.res", stats)
+{
+    const unsigned total = cfg.num_cubes * cfg.vaults_per_cube;
+    vaults.reserve(total);
+    for (unsigned v = 0; v < total; ++v)
+        vaults.push_back(
+            std::make_unique<Vault>(eq, cfg.dram, map, v, stats));
+    pim_handlers.assign(total, nullptr);
+
+    stats.add("hmc.reads", &stat_reads);
+    stats.add("hmc.writes", &stat_writes);
+    stats.add("hmc.pim_ops", &stat_pim_ops);
+}
+
+unsigned
+HmcController::flitsOf(unsigned bytes) const
+{
+    return (bytes + cfg.link.flit_bytes - 1) / cfg.link.flit_bytes;
+}
+
+void
+HmcController::readBlock(Addr paddr, Callback cb)
+{
+    ++stat_reads;
+    const MemLoc loc = map.decode(paddr);
+    ema_req.add(flitsOf(16), eq.now());
+
+    const Tick arrive = req_link.send(16, loc.cube);
+    eq.scheduleAt(arrive, [this, paddr, loc, cb = std::move(cb)]() mutable {
+        vaults[loc.globalVault]->accessBlock(
+            paddr, false, [this, loc, cb = std::move(cb)]() mutable {
+                ema_res.add(flitsOf(16 + block_size), eq.now());
+                const Tick back = res_link.send(16 + block_size, loc.cube);
+                eq.scheduleAt(back, std::move(cb));
+            });
+    });
+}
+
+void
+HmcController::writeBlock(Addr paddr, Callback cb)
+{
+    ++stat_writes;
+    const MemLoc loc = map.decode(paddr);
+    ema_req.add(flitsOf(16 + block_size), eq.now());
+
+    const Tick arrive = req_link.send(16 + block_size, loc.cube);
+    eq.scheduleAt(arrive, [this, paddr, loc, cb = std::move(cb)]() mutable {
+        vaults[loc.globalVault]->accessBlock(
+            paddr, true, [cb = std::move(cb)]() mutable {
+                // Writes are posted: completion is acknowledged
+                // without consuming response bandwidth (footnote 7).
+                if (cb)
+                    cb();
+            });
+    });
+}
+
+void
+HmcController::attachPimHandler(unsigned global_vault, PimHandler *handler)
+{
+    panic_if(global_vault >= pim_handlers.size(),
+             "vault index %u out of range", global_vault);
+    pim_handlers[global_vault] = handler;
+}
+
+void
+HmcController::sendPim(PimPacket pkt, PimHandler::Respond cb)
+{
+    ++stat_pim_ops;
+    const MemLoc loc = map.decode(pkt.paddr);
+    PimHandler *handler = pim_handlers[loc.globalVault];
+    panic_if(handler == nullptr,
+             "PIM operation sent to vault %u with no PCU attached",
+             loc.globalVault);
+
+    ema_req.add(flitsOf(pkt.requestBytes()), eq.now());
+    const Tick arrive = req_link.send(pkt.requestBytes(), loc.cube);
+    eq.scheduleAt(arrive, [this, loc, handler, pkt = std::move(pkt),
+                           cb = std::move(cb)]() mutable {
+        handler->handle(
+            std::move(pkt),
+            [this, loc, cb = std::move(cb)](PimPacket done) mutable {
+                const unsigned bytes = done.responseBytes();
+                Tick back;
+                if (bytes > 0) {
+                    ema_res.add(flitsOf(bytes), eq.now());
+                    back = res_link.send(bytes, loc.cube);
+                } else {
+                    // Posted ack: propagation latency only, no link
+                    // occupancy (acks aggregate into idle flits).
+                    back = eq.now() + nsToTicks(cfg.link.latency_ns) +
+                           nsToTicks(cfg.link.hop_ns) * loc.cube;
+                }
+                eq.scheduleAt(back, [cb = std::move(cb),
+                                     done = std::move(done)]() mutable {
+                    cb(std::move(done));
+                });
+            });
+    });
+}
+
+} // namespace pei

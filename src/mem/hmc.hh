@@ -1,0 +1,189 @@
+/**
+ * @file
+ * HMC main memory: cubes of vaults behind a daisy-chained,
+ * packetized off-chip interface with separate request and response
+ * links (paper Table 2: 8 HMCs, 80 GB/s full-duplex daisy chain).
+ *
+ * Link cost model follows the paper's footnote 7: a memory read
+ * consumes 16 B of request and 80 B of response bandwidth; a write
+ * consumes 80 B of request bandwidth.  PIM operations consume
+ * 16 B + input operands (request) and 16 B + output operands
+ * (response).
+ */
+
+#ifndef PEISIM_MEM_HMC_HH
+#define PEISIM_MEM_HMC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/addr_map.hh"
+#include "mem/dram.hh"
+#include "mem/pim_iface.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** Off-chip interconnect configuration. */
+struct HmcLinkConfig
+{
+    double gbps = 40.0;      ///< per-direction bandwidth
+    double latency_ns = 2.0; ///< propagation latency per direction
+    double hop_ns = 1.0;     ///< extra latency per daisy-chain hop
+    unsigned flit_bytes = 16;
+};
+
+/** Main memory geometry. */
+struct HmcConfig
+{
+    unsigned num_cubes = 8;
+    unsigned vaults_per_cube = 16;
+    DramConfig dram;
+    HmcLinkConfig link;
+};
+
+/**
+ * A serialized unidirectional off-chip channel.  send() occupies the
+ * channel for bytes/bandwidth and returns the arrival tick at the
+ * far end (including propagation and daisy-chain hops).
+ */
+class HmcLink
+{
+  public:
+    HmcLink(EventQueue &eq, const HmcLinkConfig &cfg,
+            const std::string &name, StatRegistry &stats);
+
+    /** Transmit @p bytes to/from cube @p cube; returns arrival tick. */
+    Tick send(unsigned bytes, unsigned cube);
+
+    std::uint64_t flits() const { return stat_flits.value(); }
+    std::uint64_t bytes() const { return stat_bytes.value(); }
+
+  private:
+    EventQueue &eq;
+    HmcLinkConfig cfg;
+    double bytes_per_tick;
+    Ticks prop_latency;
+    Ticks hop_latency;
+    Tick free_at = 0;
+
+    Counter stat_flits;
+    Counter stat_bytes;
+};
+
+/**
+ * Exponential-moving-average flit counter used by balanced dispatch
+ * (paper §7.4): accumulates flits and is halved every 10 µs.  Decay
+ * is applied lazily to keep the event queue clean.
+ */
+class EmaCounter
+{
+  public:
+    explicit EmaCounter(Ticks half_period = 40000) // 10 us at 4 GHz
+        : half_period(half_period)
+    {}
+
+    void
+    add(std::uint64_t n, Tick now)
+    {
+        decayTo(now);
+        value_ += static_cast<double>(n);
+    }
+
+    double
+    value(Tick now)
+    {
+        decayTo(now);
+        return value_;
+    }
+
+  private:
+    void
+    decayTo(Tick now)
+    {
+        if (now <= last)
+            return;
+        const std::uint64_t periods = (now - last) / half_period;
+        last += periods * half_period;
+        for (std::uint64_t i = 0; i < periods && value_ > 1e-12; ++i)
+            value_ *= 0.5;
+        if (value_ <= 1e-12)
+            value_ = 0.0;
+    }
+
+    Ticks half_period;
+    Tick last = 0;
+    double value_ = 0.0;
+};
+
+/**
+ * Host-side HMC controller: routes read/write/PIM packets over the
+ * request link to the owning cube/vault and returns responses over
+ * the response link.  Owns all vaults of all cubes.
+ */
+class HmcController
+{
+  public:
+    using Callback = std::function<void()>;
+
+    HmcController(EventQueue &eq, const HmcConfig &cfg, const AddrMap &map,
+                  StatRegistry &stats);
+
+    /** Fetch the block containing @p paddr; @p cb fires on arrival. */
+    void readBlock(Addr paddr, Callback cb);
+
+    /** Write back the block containing @p paddr; @p cb optional. */
+    void writeBlock(Addr paddr, Callback cb = nullptr);
+
+    /**
+     * Dispatch a PIM operation to the vault owning its target block;
+     * @p cb receives the completed packet (output operands filled).
+     */
+    void sendPim(PimPacket pkt, PimHandler::Respond cb);
+
+    /** Register the memory-side PCU serving @p global_vault. */
+    void attachPimHandler(unsigned global_vault, PimHandler *handler);
+
+    Vault &vault(unsigned global_vault) { return *vaults[global_vault]; }
+    unsigned totalVaults() const { return static_cast<unsigned>(vaults.size()); }
+
+    /** EMA of request-link flits (balanced dispatch input). */
+    double emaRequestFlits() { return ema_req.value(eq.now()); }
+
+    /** EMA of response-link flits (balanced dispatch input). */
+    double emaResponseFlits() { return ema_res.value(eq.now()); }
+
+    /** Raw per-direction off-chip byte counters. */
+    std::uint64_t requestBytes() const { return req_link.bytes(); }
+    std::uint64_t responseBytes() const { return res_link.bytes(); }
+    std::uint64_t offChipBytes() const
+    {
+        return req_link.bytes() + res_link.bytes();
+    }
+
+  private:
+    unsigned flitsOf(unsigned bytes) const;
+
+    EventQueue &eq;
+    HmcConfig cfg;
+    const AddrMap &map;
+    HmcLink req_link;
+    HmcLink res_link;
+    EmaCounter ema_req;
+    EmaCounter ema_res;
+    std::vector<std::unique_ptr<Vault>> vaults;
+    std::vector<PimHandler *> pim_handlers;
+
+    Counter stat_reads;
+    Counter stat_writes;
+    Counter stat_pim_ops;
+};
+
+} // namespace pei
+
+#endif // PEISIM_MEM_HMC_HH

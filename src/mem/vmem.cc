@@ -1,0 +1,116 @@
+#include "vmem.hh"
+
+#include <algorithm>
+
+namespace pei
+{
+
+Addr
+VirtualMemory::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    fatal_if(bytes == 0, "zero-byte allocation");
+    align = std::max<std::uint64_t>(align, block_size);
+    next_vaddr = (next_vaddr + align - 1) & ~(align - 1);
+    const Addr base = next_vaddr;
+    next_vaddr += bytes;
+
+    // Map every page in [base, base + bytes).
+    const Addr first_vpn = vpn(base);
+    const Addr last_vpn = vpn(base + bytes - 1);
+    for (Addr p = first_vpn; p <= last_vpn; ++p) {
+        if (page_table.count(p))
+            continue;
+        fatal_if((next_frame + 1) * page_size > phys_limit,
+                 "out of simulated physical memory (%llu bytes)",
+                 static_cast<unsigned long long>(phys_limit));
+        page_table.emplace(p, next_frame);
+        frames.push_back(Frame{std::make_unique<std::byte[]>(page_size)});
+        std::memset(frames.back().data.get(), 0, page_size);
+        ++next_frame;
+    }
+    return base;
+}
+
+Addr
+VirtualMemory::translate(Addr vaddr) const
+{
+    auto it = page_table.find(vpn(vaddr));
+    fatal_if(it == page_table.end(),
+             "access to unmapped virtual address 0x%llx",
+             static_cast<unsigned long long>(vaddr));
+    return (it->second << page_shift) | (vaddr & (page_size - 1));
+}
+
+const std::byte *
+VirtualMemory::framePtr(Addr vaddr) const
+{
+    auto it = page_table.find(vpn(vaddr));
+    fatal_if(it == page_table.end(),
+             "access to unmapped virtual address 0x%llx",
+             static_cast<unsigned long long>(vaddr));
+    return frames[it->second].data.get() + (vaddr & (page_size - 1));
+}
+
+void *
+VirtualMemory::hostPtr(Addr vaddr)
+{
+    return const_cast<std::byte *>(framePtr(vaddr));
+}
+
+const void *
+VirtualMemory::hostPtr(Addr vaddr) const
+{
+    return framePtr(vaddr);
+}
+
+void
+VirtualMemory::readBytes(Addr vaddr, void *dst, std::uint64_t size) const
+{
+    auto *out = static_cast<std::byte *>(dst);
+    while (size > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(size, page_size - (vaddr & (page_size - 1)));
+        std::memcpy(out, framePtr(vaddr), in_page);
+        vaddr += in_page;
+        out += in_page;
+        size -= in_page;
+    }
+}
+
+void
+VirtualMemory::writeBytes(Addr vaddr, const void *src, std::uint64_t size)
+{
+    auto *in = static_cast<const std::byte *>(src);
+    while (size > 0) {
+        const std::uint64_t in_page =
+            std::min<std::uint64_t>(size, page_size - (vaddr & (page_size - 1)));
+        std::memcpy(const_cast<std::byte *>(framePtr(vaddr)), in, in_page);
+        vaddr += in_page;
+        in += in_page;
+        size -= in_page;
+    }
+}
+
+Ticks
+Tlb::access(Addr vaddr)
+{
+    const Addr page = VirtualMemory::vpn(vaddr);
+    ++tick;
+    auto it = lru.find(page);
+    if (it != lru.end()) {
+        it->second = tick;
+        ++hit_count;
+        return 0;
+    }
+    ++miss_count;
+    if (lru.size() >= capacity) {
+        auto victim = std::min_element(
+            lru.begin(), lru.end(),
+            [](const auto &a, const auto &b) { return a.second < b.second; });
+        lru.erase(victim);
+    }
+    lru.emplace(page, tick);
+    return walk_latency;
+}
+
+} // namespace pei

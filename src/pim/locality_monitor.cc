@@ -1,0 +1,94 @@
+#include "locality_monitor.hh"
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+LocalityMonitor::LocalityMonitor(unsigned sets, unsigned ways,
+                                 StatRegistry &stats,
+                                 unsigned partial_tag_bits,
+                                 bool use_ignore_flag,
+                                 const std::string &name)
+    : sets(sets), ways(ways), set_bits(floorLog2(sets)),
+      tag_bits(partial_tag_bits), use_ignore_flag(use_ignore_flag),
+      array(static_cast<std::size_t>(sets) * ways)
+{
+    fatal_if(!isPowerOf2(sets) || ways == 0,
+             "bad locality monitor geometry %ux%u", sets, ways);
+    stats.add(name + ".hits", &stat_hits);
+    stats.add(name + ".misses", &stat_misses);
+    stats.add(name + ".ignored_hits", &stat_ignored_hits);
+}
+
+LocalityMonitor::Entry *
+LocalityMonitor::find(Addr block)
+{
+    Entry *base = &array[static_cast<std::size_t>(setOf(block)) * ways];
+    const std::uint32_t tag = tagOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].partial_tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+bool
+LocalityMonitor::lookupForPei(Addr block)
+{
+    Entry *e = find(block);
+    if (!e) {
+        ++stat_misses;
+        return false;
+    }
+    if (use_ignore_flag && e->ignore) {
+        // First hit on a PIM-allocated entry does not count as high
+        // locality, but clears the flag so subsequent hits do.
+        e->ignore = false;
+        ++stat_ignored_hits;
+        ++stat_misses;
+        return false;
+    }
+    ++stat_hits;
+    return true;
+}
+
+void
+LocalityMonitor::insertOrPromote(Addr block, bool from_pim)
+{
+    if (Entry *e = find(block)) {
+        e->last_use = ++use_clock;
+        if (!from_pim)
+            e->ignore = false; // demand accesses clear the flag
+        return;
+    }
+    // Allocate: LRU victim within the set.
+    Entry *base = &array[static_cast<std::size_t>(setOf(block)) * ways];
+    Entry *victim = &base[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].last_use < victim->last_use)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->partial_tag = tagOf(block);
+    victim->ignore = from_pim && use_ignore_flag;
+    victim->last_use = ++use_clock;
+}
+
+void
+LocalityMonitor::onL3Access(Addr block)
+{
+    insertOrPromote(block, false);
+}
+
+void
+LocalityMonitor::onPimIssue(Addr block)
+{
+    insertOrPromote(block, true);
+}
+
+} // namespace pei

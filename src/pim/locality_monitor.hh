@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Locality monitor: the PMU structure that predicts per-PEI data
+ * locality (paper §4.3).
+ *
+ * A tag array with the same sets/ways as the last-level cache, but
+ * holding only a valid bit, a 10-bit folded-XOR *partial* tag, LRU
+ * replacement info, and a 1-bit ignore flag.  It is updated on every
+ * L3 access *and* whenever a PIM operation is issued to memory, so
+ * the locality of PEI targets is tracked regardless of where they
+ * execute.  A PEI whose target hits in the monitor is predicted to
+ * have high locality and is executed host-side — except the first
+ * hit on an entry allocated by a PIM issue, which the ignore flag
+ * suppresses (first-touch PIM allocations are not yet "hot").
+ */
+
+#ifndef PEISIM_PIM_LOCALITY_MONITOR_HH
+#define PEISIM_PIM_LOCALITY_MONITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pei
+{
+
+/** The PMU's locality-prediction tag array. */
+class LocalityMonitor
+{
+  public:
+    /**
+     * @param sets/@p ways   mirror the L3 tag-array organization.
+     * @param partial_tag_bits  width of the folded-XOR partial tag.
+     * @param use_ignore_flag   ablation hook for the ignore bit.
+     */
+    LocalityMonitor(unsigned sets, unsigned ways, StatRegistry &stats,
+                    unsigned partial_tag_bits = 10,
+                    bool use_ignore_flag = true,
+                    const std::string &name = "loc_mon");
+
+    /**
+     * PEI-issue query: does the target block have high locality?
+     * Consumes the first hit on ignore-flagged entries.
+     */
+    bool lookupForPei(Addr block);
+
+    /** Update on a last-level cache access to @p block. */
+    void onL3Access(Addr block);
+
+    /** Update on a PIM operation being issued to memory. */
+    void onPimIssue(Addr block);
+
+    /** Access latency in ticks (CACTI-derived 3 cycles by default). */
+    Ticks accessLatency() const { return latency; }
+    void setAccessLatency(Ticks t) { latency = t; }
+
+    std::uint64_t hits() const { return stat_hits.value(); }
+    std::uint64_t misses() const { return stat_misses.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool ignore = false;
+        std::uint32_t partial_tag = 0; ///< up to 32 folded tag bits
+        std::uint64_t last_use = 0;
+    };
+
+    unsigned setOf(Addr block) const
+    {
+        return static_cast<unsigned>(block & (sets - 1));
+    }
+
+    std::uint32_t
+    tagOf(Addr block) const
+    {
+        return static_cast<std::uint32_t>(
+            foldedXor(block >> set_bits, tag_bits));
+    }
+
+    Entry *find(Addr block);
+    void insertOrPromote(Addr block, bool from_pim);
+
+    unsigned sets;
+    unsigned ways;
+    unsigned set_bits;
+    unsigned tag_bits;
+    bool use_ignore_flag;
+    Ticks latency = 3;
+    std::uint64_t use_clock = 0;
+    std::vector<Entry> array;
+
+    Counter stat_hits;
+    Counter stat_misses;
+    Counter stat_ignored_hits;
+};
+
+} // namespace pei
+
+#endif // PEISIM_PIM_LOCALITY_MONITOR_HH

@@ -1,0 +1,106 @@
+#include "pcu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+Pcu::Pcu(EventQueue &eq, const std::string &name, unsigned entries,
+         unsigned issue_width, std::uint64_t mhz, StatRegistry &stats)
+    : eq(eq), capacity(entries), mhz(mhz)
+{
+    fatal_if(entries == 0 || issue_width == 0,
+             "PCU needs at least one operand buffer entry and port");
+    port_free_at.assign(issue_width, 0);
+    stats.add(name + ".executed", &stat_executed);
+    stats.add(name + ".buffer_stalls", &stat_buffer_stalls);
+}
+
+void
+Pcu::acquireEntry(Callback then)
+{
+    if (in_use < capacity) {
+        ++in_use;
+        then();
+        return;
+    }
+    ++stat_buffer_stalls;
+    entry_waiters.push_back(std::move(then));
+}
+
+void
+Pcu::releaseEntry()
+{
+    panic_if(in_use == 0, "operand buffer release underflow");
+    --in_use;
+    if (!entry_waiters.empty()) {
+        ++in_use;
+        Callback next = std::move(entry_waiters.front());
+        entry_waiters.pop_front();
+        eq.schedule(0, std::move(next));
+    }
+}
+
+void
+Pcu::compute(unsigned cycles, Callback done)
+{
+    // Pick the earliest-free computation port.
+    auto port = std::min_element(port_free_at.begin(), port_free_at.end());
+    const Tick start = std::max(eq.now(), *port);
+    const Ticks duration = cyclesToTicks(cycles, mhz);
+    *port = start + duration;
+    ++stat_executed;
+    eq.scheduleAt(*port, std::move(done));
+}
+
+MemSidePcu::MemSidePcu(EventQueue &eq, const PcuConfig &cfg, Vault &vault,
+                       VirtualMemory &vm, StatRegistry &stats)
+    : eq(eq), vault(vault), vm(vm),
+      logic(eq, "mem_pcu" + std::to_string(vault.globalId()),
+            cfg.operand_buffer_entries, cfg.issue_width, cfg.mem_mhz,
+            stats),
+      stat_ops()
+{
+    stats.add("mem_pcu" + std::to_string(vault.globalId()) + ".ops",
+              &stat_ops);
+}
+
+void
+MemSidePcu::handle(PimPacket pkt, Respond respond)
+{
+    ++stat_ops;
+    logic.acquireEntry([this, pkt = std::move(pkt),
+                        respond = std::move(respond)]() mutable {
+        // The operand buffer issues the DRAM read immediately, even
+        // if the computation logic is busy (paper §4.2).
+        const Addr paddr = pkt.paddr;
+        vault.accessBlock(paddr, false, [this, pkt = std::move(pkt),
+                                         respond =
+                                             std::move(respond)]() mutable {
+            const PeiOpInfo &info =
+                peiOpInfo(static_cast<PeiOpcode>(pkt.op));
+            logic.compute(info.compute_cycles,
+                          [this, pkt = std::move(pkt),
+                           respond = std::move(respond)]() mutable {
+                executePeiFunctional(vm, pkt);
+                if (pkt.is_writer) {
+                    const Addr paddr = pkt.paddr;
+                    vault.accessBlock(
+                        paddr, true,
+                        [this, pkt = std::move(pkt),
+                         respond = std::move(respond)]() mutable {
+                            logic.releaseEntry();
+                            respond(std::move(pkt));
+                        });
+                } else {
+                    logic.releaseEntry();
+                    respond(std::move(pkt));
+                }
+            });
+        });
+    });
+}
+
+} // namespace pei

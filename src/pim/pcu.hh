@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PEI Computation Units (paper §4.2).
+ *
+ * Every PCU pairs an operand buffer (a small SRAM tracking in-flight
+ * PEIs; memory accesses of buffered PEIs overlap, giving PEI-level
+ * memory parallelism) with computation logic shared by all buffered
+ * PEIs (configurable issue width; PEIs execute serially per port).
+ *
+ * Host-side PCUs (one per core, 4 GHz) execute PEIs through their
+ * core's L1 cache; memory-side PCUs (one per vault, 2 GHz) implement
+ * the PimHandler interface and access DRAM through their vault.
+ */
+
+#ifndef PEISIM_PIM_PCU_HH
+#define PEISIM_PIM_PCU_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/dram.hh"
+#include "mem/pim_iface.hh"
+#include "mem/vmem.hh"
+#include "pim/pei_op.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** PCU configuration. */
+struct PcuConfig
+{
+    unsigned operand_buffer_entries = 4;
+    unsigned issue_width = 1;
+    std::uint64_t host_mhz = 4000; ///< host-side PCU clock
+    std::uint64_t mem_mhz = 2000;  ///< memory-side PCU clock
+};
+
+/**
+ * The shared PCU mechanics: operand-buffer slot management and
+ * serialized computation logic.
+ */
+class Pcu
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Pcu(EventQueue &eq, const std::string &name, unsigned entries,
+        unsigned issue_width, std::uint64_t mhz, StatRegistry &stats);
+
+    /**
+     * Allocate an operand-buffer entry; @p then fires once one is
+     * available (PEIs stall on a full buffer, paper §4.2).
+     */
+    void acquireEntry(Callback then);
+
+    /** Free an operand-buffer entry. */
+    void releaseEntry();
+
+    /**
+     * Occupy one computation port for @p cycles PCU-clock cycles;
+     * @p done fires when the computation retires.
+     */
+    void compute(unsigned cycles, Callback done);
+
+    unsigned entriesInUse() const { return in_use; }
+    unsigned bufferCapacity() const { return capacity; }
+    std::uint64_t executed() const { return stat_executed.value(); }
+
+  private:
+    EventQueue &eq;
+    unsigned capacity;
+    std::uint64_t mhz;
+
+    unsigned in_use = 0;
+    std::deque<Callback> entry_waiters;
+    std::vector<Tick> port_free_at; ///< one per issue-width port
+
+    Counter stat_executed;
+    Counter stat_buffer_stalls;
+};
+
+/**
+ * Memory-side PCU: one per vault, attached to the HMC controller as
+ * the vault's PimHandler.  Execution sequence per packet: allocate
+ * an operand-buffer entry, read the target block from DRAM (reads of
+ * distinct in-flight PEIs overlap), compute, write the block back
+ * for writer PEIs, respond.
+ */
+class MemSidePcu : public PimHandler
+{
+  public:
+    MemSidePcu(EventQueue &eq, const PcuConfig &cfg, Vault &vault,
+               VirtualMemory &vm, StatRegistry &stats);
+
+    void handle(PimPacket pkt, Respond respond) override;
+
+    Pcu &pcu() { return logic; }
+
+  private:
+    EventQueue &eq;
+    Vault &vault;
+    VirtualMemory &vm;
+    Pcu logic;
+
+    Counter stat_ops;
+};
+
+} // namespace pei
+
+#endif // PEISIM_PIM_PCU_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * PIM directory: atomicity management for in-flight PEIs (paper
+ * §4.3).
+ *
+ * A direct-mapped, tag-less table of reader-writer locks indexed by
+ * the XOR-folded target block address.  False positives (two PEIs
+ * with different targets sharing an entry) only serialize execution;
+ * false negatives cannot happen because every PEI acquires the entry
+ * its block folds to.  Grants are FIFO-fair per entry: a waiting
+ * writer marks the entry non-readable, so later readers cannot
+ * starve it (and vice versa).
+ *
+ * Entry count 0 selects the *ideal* directory used by the Ideal-Host
+ * configuration and the §7.6 ablation: exact per-block tracking with
+ * unlimited entries and zero access latency.
+ */
+
+#ifndef PEISIM_PIM_PIM_DIRECTORY_HH
+#define PEISIM_PIM_PIM_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** Reader-writer lock table guarding PEI atomicity. */
+class PimDirectory
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * @param entries  number of direct-mapped entries (power of two),
+     *                 or 0 for the ideal (exact, unlimited) directory.
+     * @param access_latency  lookup latency in ticks (0 when ideal).
+     */
+    PimDirectory(EventQueue &eq, unsigned entries, Ticks access_latency,
+                 StatRegistry &stats, const std::string &name = "pim_dir");
+
+    /**
+     * Acquire the lock covering @p block (a block address) for a
+     * reader or writer PEI; @p granted fires (after the directory
+     * access latency) once the PEI may execute atomically.
+     */
+    void acquire(Addr block, bool writer, Callback granted);
+
+    /** Release a previously granted acquisition. */
+    void release(Addr block, bool writer);
+
+    /**
+     * pfence: @p done fires once every in-flight writer PEI issued
+     * before this call has completed (all entries readable).
+     */
+    void pfence(Callback done);
+
+    /** Directory access latency (exposed for the PMU's accounting). */
+    Ticks accessLatency() const { return access_latency; }
+
+    /** In-flight writer PEIs (granted or queued). */
+    std::uint64_t inFlightWriters() const { return writers_in_flight; }
+
+    /** Acquisitions that had to wait behind a holder. */
+    std::uint64_t conflicts() const { return stat_conflicts.value(); }
+
+    /** Waits caused only by entry aliasing (different blocks). */
+    std::uint64_t falseConflicts() const
+    {
+        return stat_false_conflicts.value();
+    }
+
+  private:
+    struct Waiter
+    {
+        bool writer;
+        Addr block;
+        Callback cb;
+    };
+
+    struct Entry
+    {
+        unsigned active_readers = 0;
+        bool active_writer = false;
+        std::deque<Waiter> queue;
+        /** Target blocks of current holders (stats only). */
+        std::vector<Addr> holder_blocks;
+    };
+
+    Entry &entryFor(Addr block);
+    std::size_t indexOf(Addr block) const;
+    void grantLocked(Entry &e, const Waiter &w);
+    void drainEntry(Entry &e);
+    void writerDone();
+
+    EventQueue &eq;
+    unsigned num_entries; ///< 0 = ideal
+    unsigned index_bits = 0;
+    Ticks access_latency;
+
+    std::vector<Entry> entries;                 ///< real mode
+    std::unordered_map<Addr, Entry> ideal_map;  ///< ideal mode
+
+    std::uint64_t writers_in_flight = 0;
+    std::deque<Callback> pfence_waiters;
+
+    Counter stat_acquires;
+    Counter stat_conflicts;
+    Counter stat_false_conflicts;
+    Counter stat_pfences;
+};
+
+} // namespace pei
+
+#endif // PEISIM_PIM_PIM_DIRECTORY_HH

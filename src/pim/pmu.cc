@@ -1,0 +1,316 @@
+#include "pmu.hh"
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::HostOnly: return "Host-Only";
+      case ExecMode::PimOnly: return "PIM-Only";
+      case ExecMode::IdealHost: return "Ideal-Host";
+      case ExecMode::LocalityAware: return "Locality-Aware";
+    }
+    return "?";
+}
+
+Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
+         unsigned l3_sets, unsigned l3_ways, CacheHierarchy &hierarchy,
+         HmcController &hmc, VirtualMemory &vm, StatRegistry &stats)
+    : eq(eq), cfg(cfg), hierarchy(hierarchy), hmc(hmc), vm(vm)
+{
+    // Ideal-Host idealizes the directory: exact tracking, zero
+    // latency, PEIs behave like host instructions (§7: "its PIM
+    // directory is infinitely large and can be accessed in zero
+    // cycles").
+    const bool ideal = cfg.mode == ExecMode::IdealHost;
+    dir = std::make_unique<PimDirectory>(
+        eq, ideal ? 0 : cfg.directory_entries,
+        ideal ? 0 : cfg.directory_latency, stats);
+
+    const unsigned sets = cfg.monitor_sets ? cfg.monitor_sets : l3_sets;
+    const unsigned ways = cfg.monitor_ways ? cfg.monitor_ways : l3_ways;
+    mon = std::make_unique<LocalityMonitor>(sets, ways, stats,
+                                            cfg.monitor_partial_tag_bits,
+                                            cfg.monitor_ignore_flag);
+    mon->setAccessLatency(cfg.monitor_latency);
+
+    // The monitor mirrors every last-level cache access (§4.3), but
+    // only when locality-aware execution is enabled; Host-Only and
+    // PIM-Only "disable the locality monitor" (§7).
+    if (cfg.mode == ExecMode::LocalityAware) {
+        hierarchy.setL3AccessListener(
+            [this](Addr block) { mon->onL3Access(block); });
+    }
+
+    host_pcus.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        host_pcus.push_back(std::make_unique<Pcu>(
+            eq, "host_pcu" + std::to_string(c),
+            cfg.pcu.operand_buffer_entries, cfg.pcu.issue_width,
+            cfg.pcu.host_mhz, stats));
+    }
+
+    mem_pcus.reserve(hmc.totalVaults());
+    for (unsigned v = 0; v < hmc.totalVaults(); ++v) {
+        mem_pcus.push_back(std::make_unique<MemSidePcu>(
+            eq, cfg.pcu, hmc.vault(v), vm, stats));
+        hmc.attachPimHandler(v, mem_pcus.back().get());
+    }
+
+    stats.add("pmu.peis_host", &stat_peis_host);
+    stats.add("pmu.peis_mem", &stat_peis_mem);
+    stats.add("pmu.balanced_to_host", &stat_balanced_to_host);
+    stats.add("pmu.balanced_to_mem", &stat_balanced_to_mem);
+}
+
+void
+Pmu::executePei(unsigned core, PeiOpcode op, Addr paddr, const void *input,
+                unsigned input_size, DoneFn done, Ticks issue_latency)
+{
+    PimPacket pkt = makePimPacket(op, paddr, input, input_size);
+    if (pkt.is_writer)
+        ++pending_writers;
+
+    if (issue_latency > 0) {
+        eq.schedule(issue_latency,
+                    [this, core, pkt = std::move(pkt),
+                     done = std::move(done)]() mutable {
+                        startPei(core, std::move(pkt), std::move(done));
+                    });
+        return;
+    }
+    startPei(core, std::move(pkt), std::move(done));
+}
+
+void
+Pmu::startPei(unsigned core, PimPacket pkt, DoneFn done)
+{
+    if (cfg.mode == ExecMode::IdealHost) {
+        // PEIs are ordinary host instructions: atomicity is free
+        // (ideal zero-cycle directory) and no PCU resources exist.
+        const Addr block = pkt.paddr >> block_shift;
+        dir->acquire(block, pkt.is_writer,
+                     [this, core, pkt = std::move(pkt),
+                      done = std::move(done)]() mutable {
+                         hostExecute(core, std::move(pkt),
+                                     std::move(done));
+                     });
+        return;
+    }
+
+    // ①② The core stages the PEI in its PCU's memory-mapped
+    // registers and the PCU accesses the PMU over the crossbar to
+    // obtain the reader-writer lock (directory latency charged
+    // inside dir->acquire).  Note Fig. 4's ordering: the operand
+    // buffer entry is allocated *after* the PMU grants the lock, so
+    // PEIs waiting on a contended block do not occupy buffer
+    // entries — host-side execution claims a host-PCU entry and
+    // memory-side execution claims the target vault's PCU entry
+    // (hence the paper's 576 = 16x4 + 128x4 in-flight PEI bound).
+    eq.schedule(cfg.pmu_xbar_latency,
+                [this, core, pkt = std::move(pkt),
+                 done = std::move(done)]() mutable {
+                    const Addr block = pkt.paddr >> block_shift;
+                    const bool writer = pkt.is_writer;
+                    dir->acquire(
+                        block, writer,
+                        [this, core, pkt = std::move(pkt),
+                         done = std::move(done)]() mutable {
+                            decide(core, std::move(pkt),
+                                   std::move(done));
+                        });
+                });
+}
+
+void
+Pmu::decide(unsigned core, PimPacket pkt, DoneFn done)
+{
+    switch (cfg.mode) {
+      case ExecMode::HostOnly:
+        hostExecute(core, std::move(pkt), std::move(done));
+        return;
+      case ExecMode::PimOnly:
+        memExecute(core, std::move(pkt), std::move(done));
+        return;
+      case ExecMode::IdealHost:
+        panic("Ideal-Host PEIs do not reach the PMU decision stage");
+        return;
+      case ExecMode::LocalityAware:
+        break;
+    }
+
+    // The locality monitor is consulted in parallel with the
+    // directory (Fig. 4 step ②); charge only the extra latency
+    // beyond the directory lookup.
+    const Ticks extra =
+        mon->accessLatency() > dir->accessLatency()
+            ? mon->accessLatency() - dir->accessLatency()
+            : 0;
+    eq.schedule(extra, [this, core, pkt = std::move(pkt),
+                        done = std::move(done)]() mutable {
+        const Addr block = pkt.paddr >> block_shift;
+        const bool high_locality = mon->lookupForPei(block);
+        if (high_locality) {
+            hostExecute(core, std::move(pkt), std::move(done));
+            return;
+        }
+        bool offload = true;
+        if (cfg.balanced_dispatch) {
+            offload = balancedChoice(pkt);
+            if (offload)
+                ++stat_balanced_to_mem;
+            else
+                ++stat_balanced_to_host;
+        }
+        if (offload)
+            memExecute(core, std::move(pkt), std::move(done));
+        else
+            hostExecute(core, std::move(pkt), std::move(done));
+    });
+}
+
+bool
+Pmu::balancedChoice(const PimPacket &pkt)
+{
+    // §7.4: when response traffic dominates, pick the execution
+    // location that consumes less response bandwidth; when request
+    // traffic dominates, the one that consumes less request
+    // bandwidth.  Host-side execution of a monitor-missed PEI
+    // fetches the target block (16 B request, 80 B response) and,
+    // for writers, eventually writes it back (80 B request).
+    auto flits = [](unsigned bytes) { return (bytes + 15u) / 16u; };
+    const unsigned host_req = flits(16) + (pkt.is_writer ? flits(80) : 0);
+    const unsigned host_res = flits(16 + block_size);
+    const unsigned mem_req = flits(pkt.requestBytes());
+    const unsigned mem_res = flits(pkt.responseBytes());
+
+    const double c_req = hmc.emaRequestFlits();
+    const double c_res = hmc.emaResponseFlits();
+    if (c_res > c_req)
+        return mem_res <= host_res; // minimize response traffic
+    return mem_req <= host_req;     // minimize request traffic
+}
+
+void
+Pmu::hostExecute(unsigned core, PimPacket pkt, DoneFn done)
+{
+    if (cfg.mode != ExecMode::IdealHost) {
+        // Fig. 4 step ③: allocate the operand buffer entry now that
+        // the lock is held; stall if the buffer is full.
+        host_pcus[core]->acquireEntry(
+            [this, core, pkt = std::move(pkt),
+             done = std::move(done)]() mutable {
+                hostExecuteBuffered(core, std::move(pkt),
+                                    std::move(done));
+            });
+        return;
+    }
+    hostExecuteBuffered(core, std::move(pkt), std::move(done));
+}
+
+void
+Pmu::hostExecuteBuffered(unsigned core, PimPacket pkt, DoneFn done)
+{
+    // Fig. 4 steps ③-⑤: load the target block through the core's
+    // L1, compute, store back if the PEI modifies the block.
+    const Addr paddr = pkt.paddr;
+    hierarchy.access(core, paddr, false, [this, core, pkt = std::move(pkt),
+                                          done = std::move(done)]() mutable {
+        const PeiOpInfo &info = peiOpInfo(static_cast<PeiOpcode>(pkt.op));
+        auto after_compute = [this, core, pkt = std::move(pkt),
+                              done = std::move(done)]() mutable {
+            executePeiFunctional(vm, pkt);
+            if (pkt.is_writer) {
+                const Addr paddr = pkt.paddr;
+                hierarchy.access(
+                    core, paddr, true,
+                    [this, core, pkt = std::move(pkt),
+                     done = std::move(done)]() mutable {
+                        finish(core, true, std::move(pkt), done);
+                    });
+            } else {
+                finish(core, true, std::move(pkt), done);
+            }
+        };
+        if (cfg.mode == ExecMode::IdealHost) {
+            // Normal-instruction execution: fixed ALU latency, no
+            // PCU port contention (the OoO core absorbs it).
+            eq.schedule(info.compute_cycles, std::move(after_compute));
+        } else {
+            host_pcus[core]->compute(info.compute_cycles,
+                                     std::move(after_compute));
+        }
+    });
+}
+
+void
+Pmu::memExecute(unsigned core, PimPacket pkt, DoneFn done)
+{
+    if (cfg.mode == ExecMode::LocalityAware)
+        mon->onPimIssue(pkt.paddr >> block_shift);
+
+    // Fig. 5 step ③: clean the on-chip copies of the target block
+    // (back-invalidation for writers, back-writeback for readers);
+    // input operands move to the PMU concurrently.
+    const Addr paddr = pkt.paddr;
+    auto offload = [this, core, pkt = std::move(pkt),
+                    done = std::move(done)]() mutable {
+        hmc.sendPim(std::move(pkt),
+                    [this, core, done = std::move(done)](
+                        PimPacket completed) mutable {
+                        finish(core, false, std::move(completed), done);
+                    });
+    };
+    if (pkt.is_writer)
+        hierarchy.backInvalidate(paddr, std::move(offload));
+    else
+        hierarchy.backWriteback(paddr, std::move(offload));
+}
+
+void
+Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
+            const DoneFn &done)
+{
+    if (executed_at_host)
+        ++stat_peis_host;
+    else
+        ++stat_peis_mem;
+
+    dir->release(pkt.paddr >> block_shift, pkt.is_writer);
+    // Host-side execution held a host-PCU operand buffer entry;
+    // memory-side execution used the vault PCU's buffer instead
+    // (released inside MemSidePcu).
+    if (executed_at_host && cfg.mode != ExecMode::IdealHost)
+        host_pcus[core]->releaseEntry();
+
+    if (pkt.is_writer) {
+        panic_if(pending_writers == 0, "writer retire underflow");
+        --pending_writers;
+        if (pending_writers == 0 && !pfence_waiters.empty()) {
+            auto waiters = std::move(pfence_waiters);
+            pfence_waiters.clear();
+            for (auto &w : waiters)
+                eq.schedule(0, std::move(w));
+        }
+    }
+    done(pkt);
+}
+
+void
+Pmu::pfence(Callback done)
+{
+    // The fence completes once every writer PEI issued before it has
+    // retired (§3.2).  Tracking covers the whole PEI pipeline, which
+    // subsumes the directory's "all entries readable" condition.
+    if (pending_writers == 0) {
+        eq.schedule(dir->accessLatency(), std::move(done));
+        return;
+    }
+    pfence_waiters.push_back(std::move(done));
+}
+
+} // namespace pei

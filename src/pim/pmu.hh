@@ -1,0 +1,144 @@
+/**
+ * @file
+ * PEI Management Unit (paper §4.3): the shared structure near the
+ * last-level cache that coordinates every PEI in the system.
+ *
+ * Responsibilities:
+ *  1. atomicity management via the PIM directory (plus pfence);
+ *  2. cache-coherence management for offloaded PEIs
+ *     (back-invalidation for writers, back-writeback for readers);
+ *  3. data-locality profiling via the locality monitor, deciding
+ *     host-side vs. memory-side execution per PEI;
+ *  4. (§7.4) optional balanced dispatch using the HMC controller's
+ *     EMA request/response flit counters.
+ *
+ * The PMU also owns all PCUs: one host-side PCU per core and one
+ * memory-side PCU per vault (attached to the HMC controller as PIM
+ * packet handlers).
+ */
+
+#ifndef PEISIM_PIM_PMU_HH
+#define PEISIM_PIM_PMU_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "common/stats.hh"
+#include "mem/hmc.hh"
+#include "mem/vmem.hh"
+#include "pim/locality_monitor.hh"
+#include "pim/pcu.hh"
+#include "pim/pei_op.hh"
+#include "pim/pim_directory.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** The four system configurations evaluated in §7. */
+enum class ExecMode
+{
+    HostOnly,      ///< all PEIs on host-side PCUs (monitor disabled)
+    PimOnly,       ///< all PEIs on memory-side PCUs (monitor disabled)
+    IdealHost,     ///< PEIs as normal instructions; ideal, free directory
+    LocalityAware, ///< locality-monitor-driven placement (the proposal)
+};
+
+/** Returns the display name of an execution mode. */
+const char *execModeName(ExecMode mode);
+
+/** PEI subsystem configuration (defaults = paper §6.1). */
+struct PimConfig
+{
+    ExecMode mode = ExecMode::LocalityAware;
+
+    unsigned directory_entries = 2048; ///< 0 = ideal directory
+    Ticks directory_latency = 2;
+    Ticks monitor_latency = 3;
+    bool monitor_ignore_flag = true;
+    unsigned monitor_partial_tag_bits = 10;
+    /** 0 = mirror the L3 tag-array organization (paper default). */
+    unsigned monitor_sets = 0;
+    unsigned monitor_ways = 0;
+
+    bool balanced_dispatch = false; ///< §7.4 extension
+    Ticks pmu_xbar_latency = 8;     ///< core→PMU crossbar hop
+
+    PcuConfig pcu;
+};
+
+/** The PEI management unit plus all PCUs. */
+class Pmu
+{
+  public:
+    using Callback = std::function<void()>;
+    using DoneFn = std::function<void(const PimPacket &)>;
+
+    Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
+        unsigned l3_sets, unsigned l3_ways, CacheHierarchy &hierarchy,
+        HmcController &hmc, VirtualMemory &vm, StatRegistry &stats);
+
+    /**
+     * Execute one PEI issued by @p core targeting physical address
+     * @p paddr.  @p done receives the completed packet (output
+     * operands filled in) when the PEI retires.  @p issue_latency
+     * defers the pipeline start (e.g. a TLB-miss penalty at the
+     * issuing core) while still registering the PEI for pfence
+     * tracking immediately, preserving issue-order fence semantics.
+     */
+    void executePei(unsigned core, PeiOpcode op, Addr paddr,
+                    const void *input, unsigned input_size, DoneFn done,
+                    Ticks issue_latency = 0);
+
+    /** pfence: @p done fires once all earlier writer PEIs complete. */
+    void pfence(Callback done);
+
+    PimDirectory &directory() { return *dir; }
+    LocalityMonitor &monitor() { return *mon; }
+    Pcu &hostPcu(unsigned core) { return *host_pcus[core]; }
+
+    std::uint64_t peisHost() const { return stat_peis_host.value(); }
+    std::uint64_t peisMem() const { return stat_peis_mem.value(); }
+
+  private:
+    void startPei(unsigned core, PimPacket pkt, DoneFn done);
+    void decide(unsigned core, PimPacket pkt, DoneFn done);
+    void hostExecute(unsigned core, PimPacket pkt, DoneFn done);
+    void hostExecuteBuffered(unsigned core, PimPacket pkt, DoneFn done);
+    void memExecute(unsigned core, PimPacket pkt, DoneFn done);
+    void finish(unsigned core, bool executed_at_host, PimPacket pkt,
+                const DoneFn &done);
+
+    /** Balanced-dispatch choice on a locality-monitor miss:
+     *  true = offload to memory. */
+    bool balancedChoice(const PimPacket &pkt);
+
+    EventQueue &eq;
+    PimConfig cfg;
+    CacheHierarchy &hierarchy;
+    HmcController &hmc;
+    VirtualMemory &vm;
+
+    std::unique_ptr<PimDirectory> dir;
+    std::unique_ptr<LocalityMonitor> mon;
+    std::vector<std::unique_ptr<Pcu>> host_pcus;
+    std::vector<std::unique_ptr<MemSidePcu>> mem_pcus;
+
+    /** Writer PEIs alive anywhere in the PEI pipeline (including
+     *  those still queued for a PCU operand-buffer entry), so that
+     *  pfence covers the full issue-to-retire window. */
+    std::uint64_t pending_writers = 0;
+    std::deque<Callback> pfence_waiters;
+
+    Counter stat_peis_host;
+    Counter stat_peis_mem;
+    Counter stat_balanced_to_host;
+    Counter stat_balanced_to_mem;
+};
+
+} // namespace pei
+
+#endif // PEISIM_PIM_PMU_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Runtime: spawns workload threads (coroutines bound to cores) and
+ * drives the event loop until they complete.
+ */
+
+#ifndef PEISIM_RUNTIME_RUNTIME_HH
+#define PEISIM_RUNTIME_RUNTIME_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/context.hh"
+#include "runtime/system.hh"
+#include "sim/task.hh"
+
+namespace pei
+{
+
+/** Thread-spawning and simulation-driving facade. */
+class Runtime
+{
+  public:
+    explicit Runtime(System &sys) : sys(sys) {}
+
+    /** The simulated machine this runtime drives. */
+    System &system() { return sys; }
+
+    /** Allocate @p bytes of simulated memory. */
+    Addr
+    alloc(std::uint64_t bytes, std::uint64_t align = block_size)
+    {
+        return sys.memory().alloc(bytes, align);
+    }
+
+    /** Allocate an array of @p count PODs; returns its base vaddr. */
+    template <typename T>
+    Addr
+    allocArray(std::uint64_t count, std::uint64_t align = block_size)
+    {
+        return alloc(count * sizeof(T), align);
+    }
+
+    /** Spawn a kernel coroutine bound to @p core. */
+    template <typename Fn>
+    void
+    spawn(unsigned core, Fn &&fn)
+    {
+        fatal_if(core >= sys.numCores(), "spawn on bad core %u", core);
+        ctxs.push_back(std::make_unique<Ctx>(sys, core));
+        tasks.push_back(fn(*ctxs.back()));
+    }
+
+    /**
+     * Spawn @p nthreads kernels on cores [base, base + nthreads),
+     * invoking fn(ctx, tid, nthreads).
+     */
+    template <typename Fn>
+    void
+    spawnThreads(unsigned nthreads, Fn &&fn, unsigned base = 0)
+    {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            const unsigned core = (base + t) % sys.numCores();
+            ctxs.push_back(std::make_unique<Ctx>(sys, core));
+            tasks.push_back(fn(*ctxs.back(), t, nthreads));
+        }
+    }
+
+    /**
+     * Drive the event loop until every spawned task finishes, then
+     * settle remaining events.  Panics on deadlock (empty queue with
+     * unfinished tasks).
+     * @return simulated ticks elapsed during this run.
+     */
+    Tick
+    run()
+    {
+        const Tick start = sys.now();
+        EventQueue &eq = sys.eventQueue();
+        while (!allDone()) {
+            panic_if(!eq.runOne(),
+                     "simulation deadlock: %zu unfinished task(s) with an "
+                     "empty event queue",
+                     unfinishedCount());
+        }
+        // Settle trailing events (posted writes, releases, ...).
+        while (eq.runOne()) {}
+        tasks.clear();
+        ctxs.clear();
+        return sys.now() - start;
+    }
+
+    /** True once all spawned tasks have completed. */
+    bool
+    allDone() const
+    {
+        for (const auto &t : tasks) {
+            if (!t.done())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::size_t
+    unfinishedCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : tasks)
+            n += !t.done();
+        return n;
+    }
+
+    System &sys;
+    std::vector<std::unique_ptr<Ctx>> ctxs;
+    std::vector<Task> tasks;
+};
+
+} // namespace pei
+
+#endif // PEISIM_RUNTIME_RUNTIME_HH

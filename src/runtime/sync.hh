@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synchronization primitives for simulated threads.
+ *
+ * Barrier supports the phase-parallel structure of the paper's
+ * workloads (level-synchronous BFS, PageRank iterations, ...):
+ * every party co_awaits arrive(); the last arrival releases all.
+ */
+
+#ifndef PEISIM_RUNTIME_SYNC_HH
+#define PEISIM_RUNTIME_SYNC_HH
+
+#include <coroutine>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** Reusable coroutine barrier for a fixed number of parties. */
+class Barrier
+{
+  public:
+    Barrier(EventQueue &eq, unsigned parties) : eq(eq), parties(parties)
+    {
+        fatal_if(parties == 0, "barrier with zero parties");
+    }
+
+    class Awaiter
+    {
+      public:
+        explicit Awaiter(Barrier &b) : barrier(b) {}
+
+        /** The last arriver releases everyone and does not suspend. */
+        bool await_ready() { return barrier.doArrive(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            barrier.waiters.push_back(h);
+        }
+
+        void await_resume() {}
+
+      private:
+        Barrier &barrier;
+    };
+
+    /** co_await barrier.arrive() — returns when all parties arrived. */
+    Awaiter arrive() { return Awaiter{*this}; }
+
+  private:
+    friend class Awaiter;
+
+    /** @return true when this arrival completes the barrier. */
+    bool
+    doArrive()
+    {
+        ++count;
+        panic_if(count > parties, "barrier overflow");
+        if (count < parties)
+            return false;
+        count = 0;
+        auto released = std::move(waiters);
+        waiters.clear();
+        for (auto h : released)
+            eq.schedule(0, [h] { h.resume(); });
+        return true;
+    }
+
+    EventQueue &eq;
+    unsigned parties;
+    unsigned count = 0;
+    std::vector<std::coroutine_handle<>> waiters;
+};
+
+} // namespace pei
+
+#endif // PEISIM_RUNTIME_SYNC_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A single global-ordered queue of (tick, callback) events.  Events
+ * scheduled for the same tick execute in scheduling order (FIFO),
+ * which keeps simulations fully deterministic.
+ */
+
+#ifndef PEISIM_SIM_EVENT_QUEUE_HH
+#define PEISIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pei
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * The event queue that drives a simulation.  One instance per
+ * simulated System; all components schedule against it.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulation time. */
+    Tick now() const { return cur_tick; }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    schedule(Ticks delay, EventFn fn)
+    {
+        scheduleAt(cur_tick + delay, std::move(fn));
+    }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void
+    scheduleAt(Tick when, EventFn fn)
+    {
+        panic_if(when < cur_tick,
+                 "scheduling event in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(cur_tick));
+        events.push(Event{when, next_seq++, std::move(fn)});
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    /** Tick of the next pending event (max_tick if empty). */
+    Tick
+    nextEventTick() const
+    {
+        return events.empty() ? max_tick : events.top().when;
+    }
+
+    /**
+     * Pop and execute the next event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (events.empty())
+            return false;
+        // The callback may schedule new events; move it out first.
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        cur_tick = ev.when;
+        ev.fn();
+        ++executed_count;
+        return true;
+    }
+
+    /**
+     * Run until the queue drains or time would pass @p limit.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = max_tick)
+    {
+        std::uint64_t n = 0;
+        while (!events.empty() && events.top().when <= limit) {
+            runOne();
+            ++n;
+        }
+        return n;
+    }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedCount() const { return executed_count; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick cur_tick = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed_count = 0;
+};
+
+} // namespace pei
+
+#endif // PEISIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * C++20 coroutine plumbing for workload threads.
+ *
+ * Workload kernels are written as coroutines returning Task; they
+ * suspend on simulated-memory awaitables (loads, stores, PEIs,
+ * fences, compute delays) and are resumed by event-queue callbacks
+ * when the simulated operation completes.  Tasks are eager (start
+ * running on creation) and support co_await-ing sub-tasks via
+ * continuation chaining.
+ */
+
+#ifndef PEISIM_SIM_TASK_HH
+#define PEISIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "event_queue.hh"
+
+namespace pei
+{
+
+/**
+ * Eager, fire-on-create coroutine task.  The owner must keep the Task
+ * object alive until done() (the frame is destroyed by ~Task).
+ */
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+        bool finished = false;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        std::suspend_never initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                h.promise().finished = true;
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Task() = default;
+    explicit Task(Handle h) : handle(h) {}
+
+    Task(Task &&other) noexcept : handle(std::exchange(other.handle, {})) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle = std::exchange(other.handle, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True once the coroutine ran to completion. */
+    bool done() const { return !handle || handle.promise().finished; }
+
+    // Awaitable interface: co_await task waits for its completion.
+    bool await_ready() const { return done(); }
+
+    void
+    await_suspend(std::coroutine_handle<> cont)
+    {
+        handle.promise().continuation = cont;
+    }
+
+    void await_resume() {}
+
+  private:
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = {};
+        }
+    }
+
+    Handle handle;
+};
+
+/** Awaitable that resumes the coroutine @p delay ticks later. */
+class DelayAwaiter
+{
+  public:
+    DelayAwaiter(EventQueue &eq, Ticks delay) : eq(eq), delay(delay) {}
+
+    bool await_ready() const { return delay == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        eq.schedule(delay, [h] { h.resume(); });
+    }
+
+    void await_resume() {}
+
+  private:
+    EventQueue &eq;
+    Ticks delay;
+};
+
+/**
+ * Awaitable completed by an external callback.  The issuing code
+ * captures completion() and invokes it (typically from an event-queue
+ * callback) when the simulated operation finishes; a value of type T
+ * is handed to the awaiting coroutine.
+ *
+ * The shared state lives on the coroutine frame via the awaiter, so
+ * the callback must fire before the awaiting coroutine is destroyed.
+ */
+template <typename T>
+class ValueAwaiter
+{
+  public:
+    struct State
+    {
+        bool ready = false;
+        T value{};
+        std::coroutine_handle<> waiter;
+    };
+
+    explicit ValueAwaiter(State &state) : state(state) {}
+
+    bool await_ready() const { return state.ready; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        state.waiter = h;
+    }
+
+    T await_resume() { return std::move(state.value); }
+
+  private:
+    State &state;
+};
+
+} // namespace pei
+
+#endif // PEISIM_SIM_TASK_HH

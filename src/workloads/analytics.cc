@@ -1,0 +1,347 @@
+#include "analytics.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "pim/pei_op.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer used as the (shared) bucket hash. */
+std::uint64_t
+hashKey(std::uint64_t key)
+{
+    std::uint64_t x = key + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- HJ
+
+void
+HashJoinWorkload::setup(Runtime &rt)
+{
+    Rng rng(seed ^ 0x41);
+
+    build_keys.resize(build_rows);
+    for (auto &k : build_keys)
+        k = rng.next() | 1; // nonzero keys
+
+    // Bucket-chained table, ~4 keys per primary bucket.
+    num_buckets = nextPow2(std::max<std::uint64_t>(build_rows / 4, 1));
+    std::vector<HashBucket> buckets(num_buckets);
+    std::vector<std::uint64_t> chain_next(num_buckets, 0); // index+1 or 0
+
+    auto bucket_of = [&](std::uint64_t key) {
+        return hashKey(key) & (num_buckets - 1);
+    };
+
+    for (const auto key : build_keys) {
+        std::uint64_t b = bucket_of(key);
+        while (true) {
+            if (buckets[b].count < HashBucket::max_keys) {
+                buckets[b].keys[buckets[b].count++] = key;
+                break;
+            }
+            if (chain_next[b] == 0) {
+                buckets.push_back(HashBucket{});
+                chain_next.push_back(0);
+                chain_next[b] = buckets.size(); // index+1
+            }
+            b = chain_next[b] - 1;
+        }
+    }
+
+    table_addr = rt.alloc(buckets.size() * sizeof(HashBucket), block_size);
+    VirtualMemory &vm = rt.system().memory();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i].next =
+            chain_next[i] ? table_addr + (chain_next[i] - 1) * block_size
+                          : 0;
+        vm.write(table_addr + i * block_size, buckets[i]);
+    }
+
+    // Probe relation: ~50% hits.
+    std::unordered_set<std::uint64_t> build_set(build_keys.begin(),
+                                                build_keys.end());
+    probe_keys.resize(probe_rows);
+    probe_addr = rt.allocArray<std::uint64_t>(probe_rows);
+    expected_matches = 0;
+    for (std::uint64_t i = 0; i < probe_rows; ++i) {
+        std::uint64_t key;
+        if (rng.chance(0.5)) {
+            key = build_keys[rng.below(build_rows)];
+        } else {
+            do {
+                key = rng.next() | 1;
+            } while (build_set.count(key));
+        }
+        probe_keys[i] = key;
+        expected_matches += build_set.count(key);
+        vm.write<std::uint64_t>(probe_addr + 8 * i, key);
+    }
+}
+
+Task
+HashJoinWorkload::probeStream(Ctx &ctx, std::uint64_t begin,
+                              std::uint64_t end, std::uint64_t step)
+{
+    (void)step;
+    Ctx::StreamCursor key_cur;
+    for (std::uint64_t i = begin; i < end; ++i) {
+        co_await ctx.streamLoad(probe_addr + 8 * i, key_cur);
+        const auto key = ctx.fread<std::uint64_t>(probe_addr + 8 * i);
+        HashProbeIn in{key};
+        Addr baddr =
+            table_addr + (hashKey(key) & (num_buckets - 1)) * block_size;
+        while (true) {
+            PimPacket pkt = co_await ctx.pei(PeiOpcode::HashProbe, baddr,
+                                             &in, sizeof(in));
+            ++peis_issued;
+            if (pkt.output[8]) {
+                ++match_count;
+                break;
+            }
+            std::uint64_t next;
+            std::memcpy(&next, pkt.output.data(), 8);
+            if (next == 0)
+                break;
+            baddr = next; // host-side pointer chase to the overflow
+        }
+    }
+    co_await ctx.drain();
+}
+
+void
+HashJoinWorkload::spawn(Runtime &rt, unsigned threads, unsigned base)
+{
+    // Software unrolling (§5.2): each hardware thread runs `unroll`
+    // interleaved probe streams over contiguous slices, giving the
+    // OoO core independent lookups to overlap.
+    const std::uint64_t streams = std::uint64_t{threads} * unroll;
+    for (std::uint64_t s = 0; s < streams; ++s) {
+        const std::uint64_t begin = probe_rows * s / streams;
+        const std::uint64_t end = probe_rows * (s + 1) / streams;
+        const unsigned core = base + static_cast<unsigned>(s % threads);
+        rt.spawn(core, [this, begin, end](Ctx &ctx) {
+            return probeStream(ctx, begin, end, 1);
+        });
+    }
+}
+
+bool
+HashJoinWorkload::validate(System &sys, std::string &msg)
+{
+    (void)sys;
+    if (match_count != expected_matches) {
+        msg = "HJ: matched " + std::to_string(match_count) +
+              " probes, expected " + std::to_string(expected_matches);
+        return false;
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------- HG
+
+void
+HistogramWorkload::setup(Runtime &rt)
+{
+    fatal_if(num_ints % 16 != 0, "HG input must be a whole block count");
+    input_addr = rt.allocArray<std::uint32_t>(num_ints);
+    VirtualMemory &vm = rt.system().memory();
+    Rng rng(seed ^ 0x47);
+    for (std::uint64_t i = 0; i < num_ints; ++i)
+        vm.write<std::uint32_t>(input_addr + 4 * i,
+                                static_cast<std::uint32_t>(rng.next()));
+}
+
+Task
+HistogramWorkload::kernel(Ctx &ctx, unsigned tid, unsigned n)
+{
+    const std::uint64_t nblocks = num_ints / 16;
+    const std::uint64_t bb = nblocks * tid / n;
+    const std::uint64_t be = nblocks * (tid + 1) / n;
+    auto &bins = local_bins[tid];
+    const std::uint8_t sh = shift;
+    for (std::uint64_t b = bb; b < be; ++b) {
+        const Addr addr = input_addr + b * block_size;
+        co_await ctx.peiAsyncCb(
+            PeiOpcode::HistBinIdx, addr, &sh, 1,
+            [&bins](const PimPacket &pkt) {
+                for (unsigned k = 0; k < 16; ++k)
+                    ++bins[pkt.output[k]];
+            });
+        ++peis_issued;
+    }
+    co_await ctx.drain();
+}
+
+void
+HistogramWorkload::spawn(Runtime &rt, unsigned threads, unsigned base)
+{
+    local_bins.assign(threads, std::vector<std::uint64_t>(256, 0));
+    rt.spawnThreads(
+        threads,
+        [this](Ctx &ctx, unsigned tid, unsigned n) {
+            return kernel(ctx, tid, n);
+        },
+        base);
+}
+
+bool
+HistogramWorkload::validate(System &sys, std::string &msg)
+{
+    merged.assign(256, 0);
+    for (const auto &bins : local_bins)
+        for (unsigned b = 0; b < 256; ++b)
+            merged[b] += bins[b];
+
+    std::vector<std::uint64_t> ref(256, 0);
+    for (std::uint64_t i = 0; i < num_ints; ++i) {
+        const auto v = sys.memory().read<std::uint32_t>(input_addr + 4 * i);
+        ++ref[(v >> shift) & 0xFF];
+    }
+    for (unsigned b = 0; b < 256; ++b) {
+        if (merged[b] != ref[b]) {
+            msg = "HG: bin " + std::to_string(b) + " is " +
+                  std::to_string(merged[b]) + ", expected " +
+                  std::to_string(ref[b]);
+            return false;
+        }
+    }
+    return true;
+}
+
+// ----------------------------------------------------------------- RP
+
+void
+RadixPartitionWorkload::setup(Runtime &rt)
+{
+    fatal_if(rows % 16 != 0, "RP input must be a whole block count");
+    input_addr = rt.allocArray<std::uint32_t>(rows);
+    output_addr = rt.allocArray<std::uint32_t>(rows);
+    VirtualMemory &vm = rt.system().memory();
+    Rng rng(seed ^ 0x52);
+    for (std::uint64_t i = 0; i < rows; ++i)
+        vm.write<std::uint32_t>(input_addr + 4 * i,
+                                static_cast<std::uint32_t>(rng.next()));
+}
+
+Task
+RadixPartitionWorkload::kernel(Ctx &ctx, unsigned tid, unsigned n)
+{
+    const std::uint64_t nblocks = rows / 16;
+    const std::uint64_t bb = nblocks * tid / n;
+    const std::uint64_t be = nblocks * (tid + 1) / n;
+    const std::uint8_t sh = shift;
+
+    for (unsigned rep = 0; rep < repetitions; ++rep) {
+        // Phase 1: histogram of the keys (same PEI as HG).
+        auto &bins = local_hist[tid];
+        bins.assign(partitions, 0);
+        for (std::uint64_t b = bb; b < be; ++b) {
+            const Addr addr = input_addr + b * block_size;
+            co_await ctx.peiAsyncCb(
+                PeiOpcode::HistBinIdx, addr, &sh, 1,
+                [&bins](const PimPacket &pkt) {
+                    for (unsigned k = 0; k < 16; ++k)
+                        ++bins[pkt.output[k]];
+                });
+            ++peis_issued;
+        }
+        co_await ctx.drain();
+        co_await barrier->arrive();
+
+        if (tid == 0) {
+            // Exclusive prefix sum over the merged histogram.
+            part_base.assign(partitions, 0);
+            std::uint64_t acc = 0;
+            for (unsigned p = 0; p < partitions; ++p) {
+                part_base[p] = acc;
+                for (const auto &h : local_hist)
+                    acc += h[p];
+            }
+            part_cursor = part_base;
+        }
+        co_await barrier->arrive();
+
+        // Phase 2: scatter rows into their partitions.
+        Ctx::StreamCursor in_cur;
+        for (std::uint64_t i = bb * 16; i < be * 16; ++i) {
+            co_await ctx.streamLoad(input_addr + 4 * i, in_cur);
+            const auto key =
+                ctx.fread<std::uint32_t>(input_addr + 4 * i);
+            const unsigned p = (key >> shift) & 0xFF;
+            const std::uint64_t slot = part_cursor[p]++;
+            ctx.fwrite<std::uint32_t>(output_addr + 4 * slot, key);
+            co_await ctx.storeAsync(output_addr + 4 * slot);
+        }
+        co_await ctx.drain();
+        co_await barrier->arrive();
+    }
+}
+
+void
+RadixPartitionWorkload::spawn(Runtime &rt, unsigned threads, unsigned base)
+{
+    barrier = std::make_unique<Barrier>(rt.system().eventQueue(), threads);
+    local_hist.assign(threads, std::vector<std::uint64_t>(partitions, 0));
+    rt.spawnThreads(
+        threads,
+        [this](Ctx &ctx, unsigned tid, unsigned n) {
+            return kernel(ctx, tid, n);
+        },
+        base);
+}
+
+bool
+RadixPartitionWorkload::validate(System &sys, std::string &msg)
+{
+    // Reference histogram → partition boundaries; then check that
+    // every output element sits inside its own partition's range.
+    std::vector<std::uint64_t> ref(partitions, 0);
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        const auto v = sys.memory().read<std::uint32_t>(input_addr + 4 * i);
+        ++ref[(v >> shift) & 0xFF];
+    }
+    std::vector<std::uint64_t> base(partitions, 0);
+    std::uint64_t acc = 0;
+    for (unsigned p = 0; p < partitions; ++p) {
+        base[p] = acc;
+        acc += ref[p];
+    }
+    for (unsigned p = 0; p < partitions; ++p) {
+        const std::uint64_t end = (p + 1 < partitions) ? base[p + 1] : rows;
+        for (std::uint64_t i = base[p]; i < end; ++i) {
+            const auto v =
+                sys.memory().read<std::uint32_t>(output_addr + 4 * i);
+            if (((v >> shift) & 0xFF) != p) {
+                msg = "RP: element at slot " + std::to_string(i) +
+                      " belongs to partition " +
+                      std::to_string((v >> shift) & 0xFF) + ", not " +
+                      std::to_string(p);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace pei

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The in-memory data-analytics workloads of §5.2: Hash Join (HJ),
+ * Histogram (HG), and Radix Partitioning (RP).
+ */
+
+#ifndef PEISIM_WORKLOADS_ANALYTICS_HH
+#define PEISIM_WORKLOADS_ANALYTICS_HH
+
+#include <memory>
+#include <vector>
+
+#include "runtime/sync.hh"
+#include "workloads/workload.hh"
+
+namespace pei
+{
+
+/**
+ * Hash Join: build a bucket-chained hash table from relation R, then
+ * probe it with every key of relation S using the HashProbe PEI.
+ * Probes are software-unrolled (paper §5.2): each hardware thread
+ * runs several interleaved probe streams so the out-of-order core /
+ * operand buffer can overlap the pointer-chasing lookups.
+ */
+class HashJoinWorkload : public Workload
+{
+  public:
+    HashJoinWorkload(std::uint64_t build_rows, std::uint64_t probe_rows,
+                     std::uint64_t seed, unsigned unroll = 4)
+        : build_rows(build_rows), probe_rows(probe_rows), seed(seed),
+          unroll(unroll)
+    {}
+
+    const char *name() const override { return "HJ"; }
+    void setup(Runtime &rt) override;
+    void spawn(Runtime &rt, unsigned threads, unsigned base) override;
+    bool validate(System &sys, std::string &msg) override;
+    std::uint64_t peiCount() const override { return peis_issued; }
+
+    std::uint64_t matches() const { return match_count; }
+
+  private:
+    Task probeStream(Ctx &ctx, std::uint64_t begin, std::uint64_t end,
+                     std::uint64_t step);
+
+    std::uint64_t build_rows;
+    std::uint64_t probe_rows;
+    std::uint64_t seed;
+    unsigned unroll;
+
+    std::uint64_t num_buckets = 0;
+    Addr table_addr = invalid_addr;    ///< num_buckets HashBucket blocks
+    Addr probe_addr = invalid_addr;    ///< u64 probe keys
+    std::vector<std::uint64_t> build_keys;
+    std::vector<std::uint64_t> probe_keys;
+    std::uint64_t match_count = 0;
+    std::uint64_t expected_matches = 0;
+    std::uint64_t peis_issued = 0;
+};
+
+/**
+ * Histogram: 256-bin histogram of 32-bit integers.  One HistBinIdx
+ * PEI per 64 B input block returns the 16 bin indexes; threads
+ * accumulate into private histograms merged at the end.
+ */
+class HistogramWorkload : public Workload
+{
+  public:
+    HistogramWorkload(std::uint64_t num_ints, std::uint64_t seed)
+        : num_ints(num_ints), seed(seed)
+    {}
+
+    const char *name() const override { return "HG"; }
+    void setup(Runtime &rt) override;
+    void spawn(Runtime &rt, unsigned threads, unsigned base) override;
+    bool validate(System &sys, std::string &msg) override;
+    std::uint64_t peiCount() const override { return peis_issued; }
+
+    const std::vector<std::uint64_t> &bins() const { return merged; }
+
+    static constexpr std::uint8_t shift = 24; ///< bin = value >> 24
+
+  private:
+    Task kernel(Ctx &ctx, unsigned tid, unsigned n);
+
+    std::uint64_t num_ints;
+    std::uint64_t seed;
+    Addr input_addr = invalid_addr;
+    std::vector<std::vector<std::uint64_t>> local_bins;
+    std::vector<std::uint64_t> merged;
+    std::uint64_t peis_issued = 0;
+};
+
+/**
+ * Radix Partitioning: histogram the keys with HistBinIdx PEIs, then
+ * scatter rows into their partitions with normal stores; the whole
+ * pass repeats (database servers re-partitioning the same relation,
+ * §5.2 — the paper uses 100 repetitions, we scale to a few), which
+ * makes small inputs cache-resident on later passes.
+ */
+class RadixPartitionWorkload : public Workload
+{
+  public:
+    RadixPartitionWorkload(std::uint64_t rows, std::uint64_t seed,
+                           unsigned repetitions = 4)
+        : rows(rows), seed(seed), repetitions(repetitions)
+    {}
+
+    const char *name() const override { return "RP"; }
+    void setup(Runtime &rt) override;
+    void spawn(Runtime &rt, unsigned threads, unsigned base) override;
+    bool validate(System &sys, std::string &msg) override;
+    std::uint64_t peiCount() const override { return peis_issued; }
+
+    static constexpr std::uint8_t shift = 24; ///< partition = key >> 24
+    static constexpr unsigned partitions = 256;
+
+  private:
+    Task kernel(Ctx &ctx, unsigned tid, unsigned n);
+
+    std::uint64_t rows;
+    std::uint64_t seed;
+    unsigned repetitions;
+    Addr input_addr = invalid_addr;  ///< u32 keys
+    Addr output_addr = invalid_addr; ///< u32 partitioned keys
+    std::unique_ptr<Barrier> barrier;
+    std::vector<std::vector<std::uint64_t>> local_hist;
+    std::vector<std::uint64_t> part_base;   ///< partition start offsets
+    std::vector<std::uint64_t> part_cursor; ///< scatter cursors
+    std::uint64_t peis_issued = 0;
+};
+
+} // namespace pei
+
+#endif // PEISIM_WORKLOADS_ANALYTICS_HH

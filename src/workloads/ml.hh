@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The machine-learning / data-mining workloads of §5.3:
+ * Streamcluster (SC) and SVM-RFE (SVM).
+ *
+ * Both stream a large matrix (points / instances) against a small
+ * resident vector set (cluster centers / hyperplane), one PEI per
+ * 64 B chunk: EuclidDist for SC (16-float chunks), DotProduct for
+ * SVM (4-double chunks).  The small operand travels as the PEI input
+ * (paper Table 1), so offloaded execution reads the big matrix with
+ * vertical DRAM bandwidth only.
+ */
+
+#ifndef PEISIM_WORKLOADS_ML_HH
+#define PEISIM_WORKLOADS_ML_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace pei
+{
+
+/** Streamcluster distance kernel: assign points to nearest center. */
+class StreamclusterWorkload : public Workload
+{
+  public:
+    StreamclusterWorkload(std::uint64_t points, unsigned dims,
+                          unsigned centers, std::uint64_t seed)
+        : num_points(points), dims(dims), num_centers(centers), seed(seed)
+    {}
+
+    const char *name() const override { return "SC"; }
+    void setup(Runtime &rt) override;
+    void spawn(Runtime &rt, unsigned threads, unsigned base) override;
+    bool validate(System &sys, std::string &msg) override;
+    std::uint64_t peiCount() const override { return peis_issued; }
+
+    static constexpr unsigned chunk_floats = 16; ///< one cache block
+
+  private:
+    Task kernel(Ctx &ctx, unsigned tid, unsigned n);
+
+    std::uint64_t num_points;
+    unsigned dims;
+    unsigned num_centers;
+    std::uint64_t seed;
+
+    Addr points_addr = invalid_addr; ///< num_points x dims floats
+    std::vector<float> centers;      ///< host-resident centers
+    std::vector<float> points_ref;   ///< host copy for validation
+    std::vector<unsigned> assignment;
+    std::vector<float> best_dist;
+    std::uint64_t peis_issued = 0;
+};
+
+/** SVM-RFE dot-product kernel: w·x for every instance x. */
+class SvmWorkload : public Workload
+{
+  public:
+    SvmWorkload(std::uint64_t instances, unsigned dims, std::uint64_t seed)
+        : num_instances(instances), dims(dims), seed(seed)
+    {}
+
+    const char *name() const override { return "SVM"; }
+    void setup(Runtime &rt) override;
+    void spawn(Runtime &rt, unsigned threads, unsigned base) override;
+    bool validate(System &sys, std::string &msg) override;
+    std::uint64_t peiCount() const override { return peis_issued; }
+
+    static constexpr unsigned chunk_doubles = 4; ///< 32 B (Table 1)
+
+  private:
+    Task kernel(Ctx &ctx, unsigned tid, unsigned n);
+
+    std::uint64_t num_instances;
+    unsigned dims;
+    std::uint64_t seed;
+
+    Addr x_addr = invalid_addr;   ///< num_instances x dims doubles
+    std::vector<double> w;        ///< host-resident hyperplane
+    std::vector<double> x_ref;    ///< host copy for validation
+    std::vector<double> dots;     ///< per-instance results
+    std::uint64_t peis_issued = 0;
+};
+
+} // namespace pei
+
+#endif // PEISIM_WORKLOADS_ML_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the common module: bit utilities, RNG determinism,
+ * and the statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pei
+{
+namespace
+{
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 0, 8), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 8, 8), 0xBEu);
+    EXPECT_EQ(bits(0xDEADBEEF, 16, 16), 0xDEADu);
+}
+
+TEST(BitUtil, FoldedXorStaysInWidth)
+{
+    for (std::uint64_t v :
+         {0ULL, 1ULL, 0xFFFFULL, 0x123456789ABCDEFULL, ~0ULL}) {
+        EXPECT_LT(foldedXor(v, 10), 1024u) << v;
+        EXPECT_LT(foldedXor(v, 11), 2048u) << v;
+    }
+}
+
+TEST(BitUtil, FoldedXorMixesHighBits)
+{
+    // Addresses differing only in high bits must fold differently
+    // (this is what makes tag-less directory aliasing rare).
+    const std::uint64_t a = 0x1000;
+    const std::uint64_t b = 0x1000 | (1ULL << 40);
+    EXPECT_NE(foldedXor(a, 11), foldedXor(b, 11));
+}
+
+TEST(BitUtil, BlockHelpers)
+{
+    EXPECT_EQ(blockAlign(0x12345), 0x12340u);
+    EXPECT_EQ(blockOffset(0x12345), 5u);
+    EXPECT_TRUE(fitsInBlock(0x12340, 64));
+    EXPECT_FALSE(fitsInBlock(0x12341, 64));
+    EXPECT_TRUE(fitsInBlock(0x1237F, 1));
+    EXPECT_FALSE(fitsInBlock(0x1237F, 2));
+    EXPECT_FALSE(fitsInBlock(0x12340, 0));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformCoversRange)
+{
+    Rng rng(9);
+    double lo = 1.0, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Zipf, SkewsTowardsHead)
+{
+    ZipfSampler z(1000, 1.0, 3);
+    std::uint64_t head = 0, total = 100000;
+    for (std::uint64_t i = 0; i < total; ++i)
+        head += (z.sample() < 10);
+    // With s=1.0 over 1000 items, the top-10 get ~39% of samples.
+    EXPECT_GT(head, total / 4);
+    EXPECT_LT(head, total / 2);
+}
+
+TEST(Stats, RegisterAndSnapshot)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.add("x.a", &a);
+    reg.add("x.b", &b);
+    a += 5;
+    ++b;
+    EXPECT_EQ(reg.get("x.a"), 5u);
+    EXPECT_EQ(reg.get("x.b"), 1u);
+    EXPECT_EQ(reg.sumByPrefix("x."), 6u);
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.at("x.a"), 5u);
+    reg.resetAll();
+    EXPECT_EQ(reg.get("x.a"), 0u);
+}
+
+TEST(Stats, PrefixSumIsExactPrefix)
+{
+    StatRegistry reg;
+    Counter a, b, c;
+    reg.add("vault1.reads", &a);
+    reg.add("vault10.reads", &b);
+    reg.add("w.reads", &c);
+    a += 1;
+    b += 2;
+    c += 4;
+    EXPECT_EQ(reg.sumByPrefix("vault1."), 1u);
+    EXPECT_EQ(reg.sumByPrefix("vault1"), 3u);
+    EXPECT_EQ(reg.sumByPrefix(""), 7u);
+}
+
+TEST(Types, Conversions)
+{
+    EXPECT_EQ(nsToTicks(1.0), 4u);
+    EXPECT_EQ(nsToTicks(13.75), 55u);
+    EXPECT_EQ(cyclesToTicks(10, 4000), 10u);
+    EXPECT_EQ(cyclesToTicks(10, 2000), 20u);
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+}
+
+} // namespace
+} // namespace pei

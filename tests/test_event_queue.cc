@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, determinism,
+ * and coroutine plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace pei
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.schedule(1, [&] {
+            eq.schedule(1, [&] { ++fired; });
+            ++fired;
+        });
+        ++fired;
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.run(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ZeroDelayRunsAtCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = max_tick;
+    eq.schedule(7, [&] { eq.schedule(0, [&] { seen = eq.now(); }); });
+    eq.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, CountsExecuted)
+{
+    EventQueue eq;
+    for (int i = 0; i < 42; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedCount(), 42u);
+}
+
+Task
+simpleCoro(EventQueue &eq, int &stage)
+{
+    stage = 1;
+    co_await DelayAwaiter(eq, 10);
+    stage = 2;
+    co_await DelayAwaiter(eq, 10);
+    stage = 3;
+}
+
+TEST(Task, RunsEagerlyAndSuspends)
+{
+    EventQueue eq;
+    int stage = 0;
+    Task t = simpleCoro(eq, stage);
+    EXPECT_EQ(stage, 1); // ran until the first co_await
+    EXPECT_FALSE(t.done());
+    eq.run();
+    EXPECT_EQ(stage, 3);
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+Task
+inner(EventQueue &eq, std::vector<int> &log)
+{
+    log.push_back(1);
+    co_await DelayAwaiter(eq, 5);
+    log.push_back(2);
+}
+
+Task
+outer(EventQueue &eq, std::vector<int> &log)
+{
+    Task t = inner(eq, log);
+    co_await t;
+    log.push_back(3);
+}
+
+TEST(Task, AwaitsSubTask)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    Task t = outer(eq, log);
+    eq.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Task, ZeroDelayAwaitIsReady)
+{
+    EventQueue eq;
+    int stage = 0;
+    auto coro = [](EventQueue &eq, int &s) -> Task {
+        co_await DelayAwaiter(eq, 0); // ready immediately, no suspend
+        s = 1;
+    };
+    Task t = coro(eq, stage);
+    EXPECT_EQ(stage, 1);
+    EXPECT_TRUE(t.done());
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace
+} // namespace pei

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Unit tests for the PIM module: PEI functional semantics, the PIM
+ * directory's reader-writer locking and pfence, the locality
+ * monitor's prediction behaviour (including the ignore flag and
+ * partial-tag aliasing), and the PCU operand buffer / compute port
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "pim/locality_monitor.hh"
+#include "pim/pcu.hh"
+#include "pim/pei_op.hh"
+#include "pim/pim_directory.hh"
+
+namespace pei
+{
+namespace
+{
+
+// ------------------------------------------------------------- PEI ops
+
+struct PeiOpsFixture : public ::testing::Test
+{
+    PeiOpsFixture() : vm(16 << 20), base(vm.alloc(4096)) {}
+
+    PimPacket
+    exec(PeiOpcode op, Addr vaddr, const void *in, unsigned in_size)
+    {
+        PimPacket pkt = makePimPacket(op, vm.translate(vaddr), in,
+                                      in_size);
+        executePeiFunctional(vm, pkt);
+        return pkt;
+    }
+
+    VirtualMemory vm;
+    Addr base;
+};
+
+TEST_F(PeiOpsFixture, TableOneMetadataMatchesPaper)
+{
+    EXPECT_TRUE(peiOpInfo(PeiOpcode::Inc64).writes);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::Inc64).input_bytes, 0u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::Min64).input_bytes, 8u);
+    EXPECT_FALSE(peiOpInfo(PeiOpcode::HashProbe).writes);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::HashProbe).output_bytes, 9u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::HistBinIdx).input_bytes, 1u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::HistBinIdx).output_bytes, 16u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::EuclidDist).input_bytes, 64u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::EuclidDist).output_bytes, 4u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::DotProduct).input_bytes, 32u);
+    EXPECT_EQ(peiOpInfo(PeiOpcode::DotProduct).output_bytes, 8u);
+}
+
+TEST_F(PeiOpsFixture, Inc64)
+{
+    vm.write<std::uint64_t>(base, 41);
+    exec(PeiOpcode::Inc64, base, nullptr, 0);
+    EXPECT_EQ(vm.read<std::uint64_t>(base), 42u);
+}
+
+TEST_F(PeiOpsFixture, Min64KeepsSmaller)
+{
+    vm.write<std::uint64_t>(base, 100);
+    std::uint64_t v = 50;
+    exec(PeiOpcode::Min64, base, &v, 8);
+    EXPECT_EQ(vm.read<std::uint64_t>(base), 50u);
+    v = 70;
+    exec(PeiOpcode::Min64, base, &v, 8);
+    EXPECT_EQ(vm.read<std::uint64_t>(base), 50u);
+}
+
+TEST_F(PeiOpsFixture, FaddAccumulates)
+{
+    vm.write<double>(base, 1.5);
+    double d = 2.25;
+    exec(PeiOpcode::FaddDouble, base, &d, 8);
+    EXPECT_DOUBLE_EQ(vm.read<double>(base), 3.75);
+}
+
+TEST_F(PeiOpsFixture, HashProbeMatchAndChain)
+{
+    HashBucket bucket{};
+    bucket.keys[0] = 7;
+    bucket.keys[1] = 9;
+    bucket.count = 2;
+    bucket.next = 0xABC0;
+    vm.write(base, bucket);
+
+    HashProbeIn hit{9};
+    PimPacket r = exec(PeiOpcode::HashProbe, base, &hit, 8);
+    EXPECT_EQ(r.output[8], 1);
+    std::uint64_t next;
+    std::memcpy(&next, r.output.data(), 8);
+    EXPECT_EQ(next, 0xABC0u);
+
+    HashProbeIn miss{8};
+    r = exec(PeiOpcode::HashProbe, base, &miss, 8);
+    EXPECT_EQ(r.output[8], 0);
+}
+
+TEST_F(PeiOpsFixture, HistBinIdxShiftsAndTruncates)
+{
+    for (unsigned i = 0; i < 16; ++i)
+        vm.write<std::uint32_t>(base + 4 * i, (i * 3 + 1) << 24);
+    std::uint8_t shift = 24;
+    PimPacket r = exec(PeiOpcode::HistBinIdx, base, &shift, 1);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(r.output[i], ((i * 3 + 1)) & 0xFF);
+}
+
+TEST_F(PeiOpsFixture, EuclidDistPartialSum)
+{
+    float a[16], b[16];
+    for (unsigned i = 0; i < 16; ++i) {
+        a[i] = static_cast<float>(i);
+        b[i] = static_cast<float>(i) + 2.0f;
+        vm.write<float>(base + 4 * i, a[i]);
+    }
+    PimPacket r = exec(PeiOpcode::EuclidDist, base, b, 64);
+    float out;
+    std::memcpy(&out, r.output.data(), 4);
+    EXPECT_FLOAT_EQ(out, 16 * 4.0f);
+}
+
+TEST_F(PeiOpsFixture, DotProduct)
+{
+    double x[4] = {1, 2, 3, 4}, w[4] = {2, 0.5, -1, 3};
+    for (unsigned i = 0; i < 4; ++i)
+        vm.write<double>(base + 8 * i, x[i]);
+    PimPacket r = exec(PeiOpcode::DotProduct, base, w, 32);
+    double out;
+    std::memcpy(&out, r.output.data(), 8);
+    EXPECT_DOUBLE_EQ(out, 2 + 1 - 3 + 12);
+}
+
+TEST_F(PeiOpsFixture, SingleCacheBlockRestrictionEnforced)
+{
+    // A 32-byte target starting 48 bytes into a block crosses the
+    // boundary — the paper's restriction forbids it (death test via
+    // panic/abort).
+    double w[4] = {0, 0, 0, 0};
+    EXPECT_DEATH(
+        {
+            PimPacket pkt = makePimPacket(PeiOpcode::DotProduct,
+                                          0x1030, w, 32);
+            (void)pkt;
+        },
+        "single-cache-block");
+}
+
+// ------------------------------------------------------- PIM directory
+
+struct DirFixture : public ::testing::Test
+{
+    DirFixture() : dir(eq, 64, 2, stats) {}
+
+    EventQueue eq;
+    StatRegistry stats;
+    PimDirectory dir;
+};
+
+TEST_F(DirFixture, ReadersShareWritersExclude)
+{
+    int granted = 0;
+    dir.acquire(1, false, [&] { ++granted; });
+    dir.acquire(1, false, [&] { ++granted; });
+    eq.run();
+    EXPECT_EQ(granted, 2); // concurrent readers
+
+    int wgrant = 0;
+    dir.acquire(1, true, [&] { ++wgrant; });
+    eq.run();
+    EXPECT_EQ(wgrant, 0); // blocked behind readers
+    dir.release(1, false);
+    eq.run();
+    EXPECT_EQ(wgrant, 0);
+    dir.release(1, false);
+    eq.run();
+    EXPECT_EQ(wgrant, 1); // last reader released it
+    dir.release(1, true);
+}
+
+TEST_F(DirFixture, WritersSerialize)
+{
+    std::vector<int> order;
+    dir.acquire(2, true, [&] { order.push_back(1); });
+    dir.acquire(2, true, [&] { order.push_back(2); });
+    eq.run();
+    ASSERT_EQ(order.size(), 1u);
+    dir.release(2, true);
+    eq.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 2);
+    dir.release(2, true);
+}
+
+TEST_F(DirFixture, QueuedWriterBlocksLaterReaders)
+{
+    int events = 0;
+    dir.acquire(3, false, [&] { ++events; }); // active reader
+    dir.acquire(3, true, [&] { events += 10; }); // queued writer
+    dir.acquire(3, false, [&] { events += 100; }); // must wait (no
+                                                   // starvation)
+    eq.run();
+    EXPECT_EQ(events, 1);
+    dir.release(3, false);
+    eq.run();
+    EXPECT_EQ(events, 11); // writer went next
+    dir.release(3, true);
+    eq.run();
+    EXPECT_EQ(events, 111);
+    dir.release(3, false);
+}
+
+TEST_F(DirFixture, AliasedBlocksSerializeButStayCorrect)
+{
+    // foldedXor(5, 6) = 5 and foldedXor(198, 6) = (198 & 63) ^
+    // (198 >> 6) = 6 ^ 3 = 5: the two blocks share a directory
+    // entry — a false positive that serializes them.
+    int granted = 0;
+    dir.acquire(5, true, [&] { ++granted; });
+    dir.acquire(198, true, [&] { ++granted; });
+    eq.run();
+    EXPECT_EQ(granted, 1);
+    EXPECT_GE(dir.falseConflicts(), 1u);
+    dir.release(5, true);
+    eq.run();
+    EXPECT_EQ(granted, 2);
+    dir.release(198, true);
+}
+
+TEST_F(DirFixture, PfenceWaitsForAllWriters)
+{
+    bool fence_done = false;
+    dir.acquire(7, true, [] {});
+    dir.acquire(8, true, [] {});
+    eq.run();
+    dir.pfence([&fence_done] { fence_done = true; });
+    eq.run();
+    EXPECT_FALSE(fence_done);
+    dir.release(7, true);
+    eq.run();
+    EXPECT_FALSE(fence_done);
+    dir.release(8, true);
+    eq.run();
+    EXPECT_TRUE(fence_done);
+}
+
+TEST_F(DirFixture, PfenceIgnoresReaders)
+{
+    bool fence_done = false;
+    dir.acquire(9, false, [] {});
+    eq.run();
+    dir.pfence([&fence_done] { fence_done = true; });
+    eq.run();
+    EXPECT_TRUE(fence_done);
+    dir.release(9, false);
+}
+
+TEST(PimDirectoryIdeal, ExactTrackingNeverAliases)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    PimDirectory dir(eq, 0, 0, stats, "ideal_dir");
+    int granted = 0;
+    // 1000 writers to 1000 distinct blocks all grant immediately.
+    for (Addr b = 0; b < 1000; ++b)
+        dir.acquire(b, true, [&granted] { ++granted; });
+    eq.run();
+    EXPECT_EQ(granted, 1000);
+    EXPECT_EQ(dir.conflicts(), 0u);
+    for (Addr b = 0; b < 1000; ++b)
+        dir.release(b, true);
+}
+
+TEST(PimDirectoryStress, RandomAcquireReleaseBalances)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    PimDirectory dir(eq, 128, 2, stats, "stress_dir");
+    Rng rng(9);
+    std::vector<std::pair<Addr, bool>> held;
+    std::uint64_t granted = 0, requested = 0;
+
+    for (int i = 0; i < 5000; ++i) {
+        if (!held.empty() && rng.chance(0.5)) {
+            const auto [block, writer] = held.back();
+            held.pop_back();
+            dir.release(block, writer);
+        } else {
+            const Addr block = rng.below(512);
+            const bool writer = rng.chance(0.3);
+            ++requested;
+            dir.acquire(block, writer, [&granted, &held, block, writer] {
+                ++granted;
+                held.emplace_back(block, writer);
+            });
+        }
+        eq.run();
+    }
+    while (!held.empty()) {
+        const auto [block, writer] = held.back();
+        held.pop_back();
+        dir.release(block, writer);
+        eq.run();
+    }
+    EXPECT_EQ(granted, requested);
+    EXPECT_EQ(dir.inFlightWriters(), 0u);
+    bool fence_done = false;
+    dir.pfence([&fence_done] { fence_done = true; });
+    eq.run();
+    EXPECT_TRUE(fence_done);
+}
+
+// ----------------------------------------------------- LocalityMonitor
+
+TEST(LocalityMonitorTest, MissUntilTouched)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(64, 4, stats, 10, true, "m1");
+    EXPECT_FALSE(mon.lookupForPei(0x123));
+    mon.onL3Access(0x123);
+    EXPECT_TRUE(mon.lookupForPei(0x123));
+}
+
+TEST(LocalityMonitorTest, IgnoreFlagSuppressesFirstPimHit)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(64, 4, stats, 10, true, "m2");
+    mon.onPimIssue(0x55);
+    EXPECT_FALSE(mon.lookupForPei(0x55)); // first hit ignored
+    EXPECT_TRUE(mon.lookupForPei(0x55));  // second hit counts
+}
+
+TEST(LocalityMonitorTest, DemandAccessClearsIgnoreFlag)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(64, 4, stats, 10, true, "m3");
+    mon.onPimIssue(0x55);
+    mon.onL3Access(0x55); // demand touch clears the flag
+    EXPECT_TRUE(mon.lookupForPei(0x55));
+}
+
+TEST(LocalityMonitorTest, IgnoreFlagDisabledAblation)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(64, 4, stats, 10, false, "m4");
+    mon.onPimIssue(0x55);
+    EXPECT_TRUE(mon.lookupForPei(0x55)); // no suppression
+}
+
+TEST(LocalityMonitorTest, LruEvictionForgetsColdBlocks)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(4, 2, stats, 10, true, "m5");
+    // Same set (set = block & 3): blocks 0, 4, 8.
+    mon.onL3Access(0);
+    mon.onL3Access(4);
+    mon.onL3Access(8); // evicts 0 (LRU)
+    EXPECT_FALSE(mon.lookupForPei(0));
+    EXPECT_TRUE(mon.lookupForPei(4));
+    EXPECT_TRUE(mon.lookupForPei(8));
+}
+
+TEST(LocalityMonitorTest, PartialTagsCanFalsePositive)
+{
+    StatRegistry stats;
+    // 1-bit partial tags: aliasing is certain among a few blocks.
+    LocalityMonitor mon(4, 1, stats, 1, true, "m6");
+    mon.onL3Access(0x10); // set 0
+    bool aliased = false;
+    for (Addr b = 0x20; b < 0x200; b += 0x10) {
+        if ((b & 3) == 0 && mon.lookupForPei(b)) {
+            aliased = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(aliased);
+}
+
+// ------------------------------------------------------------- PCU
+
+TEST(PcuTest, OperandBufferLimitsInFlight)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    Pcu pcu(eq, "p1", 2, 1, 4000, stats);
+    int granted = 0;
+    for (int i = 0; i < 5; ++i)
+        pcu.acquireEntry([&granted] { ++granted; });
+    EXPECT_EQ(granted, 2);
+    pcu.releaseEntry();
+    eq.run();
+    EXPECT_EQ(granted, 3);
+    pcu.releaseEntry();
+    pcu.releaseEntry();
+    eq.run();
+    EXPECT_EQ(granted, 5);
+}
+
+TEST(PcuTest, ComputeSerializesOnOnePort)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    Pcu pcu(eq, "p2", 4, 1, 4000, stats);
+    std::vector<Tick> ends;
+    for (int i = 0; i < 3; ++i)
+        pcu.compute(10, [&ends, &eq] { ends.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(ends.size(), 3u);
+    EXPECT_EQ(ends[0], 10u);
+    EXPECT_EQ(ends[1], 20u);
+    EXPECT_EQ(ends[2], 30u);
+}
+
+TEST(PcuTest, WiderIssueOverlapsComputation)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    Pcu pcu(eq, "p3", 4, 2, 4000, stats);
+    std::vector<Tick> ends;
+    for (int i = 0; i < 4; ++i)
+        pcu.compute(10, [&ends, &eq] { ends.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(ends.size(), 4u);
+    EXPECT_EQ(ends[1], 10u); // two ports run in parallel
+    EXPECT_EQ(ends[3], 20u);
+}
+
+TEST(PcuTest, MemSideClockIsSlower)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    Pcu host(eq, "p4h", 4, 1, 4000, stats);
+    Pcu mem(eq, "p4m", 4, 1, 2000, stats);
+    Tick host_end = 0, mem_end = 0;
+    host.compute(10, [&] { host_end = eq.now(); });
+    mem.compute(10, [&] { mem_end = eq.now(); });
+    eq.run();
+    EXPECT_EQ(host_end, 10u);
+    EXPECT_EQ(mem_end, 20u); // 2 GHz: 2 ticks per cycle
+}
+
+} // namespace
+} // namespace pei

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the coroutine Barrier used by the phase-parallel
+ * workload kernels (level-synchronous BFS, PageRank iterations...).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/sync.hh"
+#include "sim/task.hh"
+
+namespace pei
+{
+namespace
+{
+
+Task
+phases(EventQueue &eq, Barrier &barrier, unsigned tid, Ticks delay,
+       std::vector<unsigned> &log, unsigned rounds)
+{
+    for (unsigned r = 0; r < rounds; ++r) {
+        // Stagger arrivals so ordering bugs would surface.
+        co_await DelayAwaiter(eq, delay * (tid + 1));
+        log.push_back(r);
+        co_await barrier.arrive();
+    }
+}
+
+TEST(Barrier, AllPartiesReachEachRoundTogether)
+{
+    EventQueue eq;
+    constexpr unsigned parties = 4, rounds = 5;
+    Barrier barrier(eq, parties);
+    std::vector<unsigned> log;
+    std::vector<Task> tasks;
+    for (unsigned t = 0; t < parties; ++t)
+        tasks.push_back(phases(eq, barrier, t, 3 + t, log, rounds));
+    eq.run();
+    for (const auto &task : tasks)
+        EXPECT_TRUE(task.done());
+    // The log must be rounds of `parties` identical entries: no
+    // thread enters round r+1 before all finished round r.
+    ASSERT_EQ(log.size(), std::size_t{parties} * rounds);
+    for (unsigned r = 0; r < rounds; ++r)
+        for (unsigned p = 0; p < parties; ++p)
+            EXPECT_EQ(log[r * parties + p], r);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks)
+{
+    EventQueue eq;
+    Barrier barrier(eq, 1);
+    bool done = false;
+    auto coro = [](EventQueue &, Barrier &b, bool &flag) -> Task {
+        for (int i = 0; i < 10; ++i)
+            co_await b.arrive();
+        flag = true;
+    };
+    Task t = coro(eq, barrier, done);
+    eq.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Barrier, LastArriverDoesNotSuspend)
+{
+    EventQueue eq;
+    Barrier barrier(eq, 2);
+    std::vector<int> order;
+    auto first = [](Barrier &b, std::vector<int> &log) -> Task {
+        co_await b.arrive();
+        log.push_back(1);
+    };
+    auto second = [](Barrier &b, std::vector<int> &log) -> Task {
+        co_await b.arrive(); // completes the barrier: runs through
+        log.push_back(2);
+    };
+    Task t1 = first(barrier, order);
+    EXPECT_TRUE(order.empty()); // first party is parked
+    Task t2 = second(barrier, order);
+    // The completing party continued synchronously...
+    ASSERT_FALSE(order.empty());
+    EXPECT_EQ(order[0], 2);
+    eq.run();
+    // ...and the parked one resumed from the event queue.
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(Barrier, ReusableAcrossManyGenerations)
+{
+    EventQueue eq;
+    constexpr unsigned parties = 8;
+    Barrier barrier(eq, parties);
+    unsigned total = 0;
+    std::vector<Task> tasks;
+    for (unsigned t = 0; t < parties; ++t) {
+        auto coro = [](EventQueue &eq, Barrier &b, unsigned tid,
+                       unsigned &count) -> Task {
+            for (int r = 0; r < 100; ++r) {
+                co_await DelayAwaiter(eq, (tid * 7 + r) % 5);
+                co_await b.arrive();
+                ++count;
+            }
+        };
+        tasks.push_back(coro(eq, barrier, t, total));
+    }
+    eq.run();
+    EXPECT_EQ(total, parties * 100);
+}
+
+} // namespace
+} // namespace pei

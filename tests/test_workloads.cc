@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Integration tests: every §5 workload runs on the simulated machine
+ * and its output is validated against the host-side reference
+ * implementation, under multiple execution modes.  These are the
+ * strongest end-to-end checks in the suite: they exercise kernels,
+ * PEI atomicity, coherence (back-invalidation/writeback), pfence,
+ * the locality monitor, and the DRAM/link models together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/analytics.hh"
+#include "workloads/graph_workloads.hh"
+#include "workloads/ml.hh"
+#include "workloads/workload.hh"
+
+namespace pei
+{
+namespace
+{
+
+SystemConfig
+testConfig(ExecMode mode)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    cfg.cores = 8;
+    cfg.phys_bytes = 256ULL << 20;
+    cfg.cache.l3_bytes = 512 << 10; // small L3: exercises both regimes
+    cfg.hmc.vaults_per_cube = 8;
+    return cfg;
+}
+
+struct Case
+{
+    WorkloadKind kind;
+    ExecMode mode;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return std::string(kindName(info.param.kind)) + "_" +
+           (info.param.mode == ExecMode::HostOnly       ? "HostOnly"
+            : info.param.mode == ExecMode::PimOnly      ? "PimOnly"
+            : info.param.mode == ExecMode::IdealHost    ? "IdealHost"
+                                                        : "LocalityAware");
+}
+
+class WorkloadValidation : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadValidation, ProducesReferenceOutput)
+{
+    const Case c = GetParam();
+    System sys(testConfig(c.mode));
+    Runtime rt(sys);
+
+    // Mini inputs: full algorithmic structure, fast to simulate.
+    std::unique_ptr<Workload> w;
+    switch (c.kind) {
+      case WorkloadKind::ATF:
+        w = std::make_unique<AtfWorkload>(1024, 8192, 7);
+        break;
+      case WorkloadKind::BFS:
+        w = std::make_unique<BfsWorkload>(1024, 8192, 7);
+        break;
+      case WorkloadKind::PR:
+        w = std::make_unique<PageRankWorkload>(1024, 8192, 7, 2);
+        break;
+      case WorkloadKind::SP:
+        w = std::make_unique<SsspWorkload>(1024, 8192, 7);
+        break;
+      case WorkloadKind::WCC:
+        w = std::make_unique<WccWorkload>(1024, 4096, 7);
+        break;
+      case WorkloadKind::HJ:
+        w = std::make_unique<HashJoinWorkload>(2048, 8192, 7);
+        break;
+      case WorkloadKind::HG:
+        w = std::make_unique<HistogramWorkload>(1u << 14, 7);
+        break;
+      case WorkloadKind::RP:
+        w = std::make_unique<RadixPartitionWorkload>(1u << 14, 7, 2);
+        break;
+      case WorkloadKind::SC:
+        w = std::make_unique<StreamclusterWorkload>(256, 32, 4, 7);
+        break;
+      case WorkloadKind::SVM:
+        w = std::make_unique<SvmWorkload>(16, 512, 7);
+        break;
+    }
+
+    w->setup(rt);
+    w->spawn(rt, sys.numCores());
+    const Tick elapsed = rt.run();
+    EXPECT_GT(elapsed, 0u);
+    EXPECT_GT(w->peiCount(), 0u);
+
+    std::string msg;
+    EXPECT_TRUE(w->validate(sys, msg)) << msg;
+    sys.caches().checkInvariants();
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        for (ExecMode mode :
+             {ExecMode::HostOnly, ExecMode::PimOnly,
+              ExecMode::LocalityAware}) {
+            cases.push_back({kind, mode});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadValidation,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(WorkloadFactory, MakesEveryKindAndSize)
+{
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        for (InputSize size :
+             {InputSize::Small, InputSize::Medium, InputSize::Large}) {
+            auto w = makeWorkload(kind, size);
+            ASSERT_NE(w, nullptr);
+            EXPECT_STREQ(w->name(), kindName(kind));
+        }
+    }
+}
+
+TEST(GraphGen, RmatIsPowerLawSkewed)
+{
+    EdgeList el = genRmat(4096, 32768, 11);
+    ASSERT_EQ(el.edges.size(), 32768u);
+    std::vector<std::uint64_t> deg(4096, 0);
+    for (auto &[s, d] : el.edges) {
+        (void)d;
+        ++deg[s];
+    }
+    std::sort(deg.rbegin(), deg.rend());
+    std::uint64_t top = 0;
+    for (int i = 0; i < 41; ++i) // top 1% of vertices
+        top += deg[i];
+    // Power-law graphs concentrate a large edge share in few hubs.
+    EXPECT_GT(top, el.edges.size() / 5);
+}
+
+TEST(GraphGen, UniformIsNotSkewed)
+{
+    EdgeList el = genUniform(4096, 32768, 11);
+    std::vector<std::uint64_t> deg(4096, 0);
+    for (auto &[s, d] : el.edges) {
+        (void)d;
+        ++deg[s];
+    }
+    std::sort(deg.rbegin(), deg.rend());
+    std::uint64_t top = 0;
+    for (int i = 0; i < 41; ++i)
+        top += deg[i];
+    EXPECT_LT(top, el.edges.size() / 10);
+}
+
+TEST(GraphGen, CsrMatchesEdgeList)
+{
+    SystemConfig cfg = testConfig(ExecMode::LocalityAware);
+    System sys(cfg);
+    Runtime rt(sys);
+    EdgeList el = genRmat(512, 4096, 3);
+    CsrGraph g(rt, el);
+    EXPECT_EQ(g.numVertices(), 512u);
+    EXPECT_EQ(g.numEdges(), 4096u);
+    // Every edge appears exactly once in the CSR.
+    std::uint64_t count = 0;
+    for (std::uint64_t v = 0; v < g.numVertices(); ++v) {
+        for (std::uint64_t e = g.rowPtr()[v]; e < g.rowPtr()[v + 1]; ++e) {
+            ++count;
+            EXPECT_LT(g.colIdx()[e], 512u);
+        }
+    }
+    EXPECT_EQ(count, 4096u);
+    // Simulated-memory copy agrees with the host copy.
+    for (std::uint64_t v = 0; v <= g.numVertices(); v += 37)
+        EXPECT_EQ(sys.memory().read<std::uint64_t>(g.rowPtrAddr(v)),
+                  g.rowPtr()[v]);
+    for (std::uint64_t e = 0; e < g.numEdges(); e += 97)
+        EXPECT_EQ(sys.memory().read<std::uint64_t>(g.colIdxAddr(e)),
+                  g.colIdx()[e]);
+}
+
+TEST(GraphGen, FigureGraphsAreAscendingAndNine)
+{
+    const auto &specs = figureGraphs();
+    ASSERT_EQ(specs.size(), 9u);
+    for (std::size_t i = 1; i < specs.size(); ++i)
+        EXPECT_GT(specs[i].vertices, specs[i - 1].vertices);
+}
+
+} // namespace
+} // namespace pei
