@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_pagerank_potential"
+  "../bench/fig02_pagerank_potential.pdb"
+  "CMakeFiles/fig02_pagerank_potential.dir/fig02_pagerank_potential.cc.o"
+  "CMakeFiles/fig02_pagerank_potential.dir/fig02_pagerank_potential.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pagerank_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

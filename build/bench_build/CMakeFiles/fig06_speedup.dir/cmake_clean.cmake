@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_speedup"
+  "../bench/fig06_speedup.pdb"
+  "CMakeFiles/fig06_speedup.dir/fig06_speedup.cc.o"
+  "CMakeFiles/fig06_speedup.dir/fig06_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

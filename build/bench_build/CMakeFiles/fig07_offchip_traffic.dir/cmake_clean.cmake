@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_offchip_traffic"
+  "../bench/fig07_offchip_traffic.pdb"
+  "CMakeFiles/fig07_offchip_traffic.dir/fig07_offchip_traffic.cc.o"
+  "CMakeFiles/fig07_offchip_traffic.dir/fig07_offchip_traffic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_offchip_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_input_sweep.cc" "bench_build/CMakeFiles/fig08_input_sweep.dir/fig08_input_sweep.cc.o" "gcc" "bench_build/CMakeFiles/fig08_input_sweep.dir/fig08_input_sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/peibench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/peisim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/peisim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/peisim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/peisim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/peisim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/peisim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peisim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

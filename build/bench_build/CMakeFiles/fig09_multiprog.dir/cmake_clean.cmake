@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_multiprog"
+  "../bench/fig09_multiprog.pdb"
+  "CMakeFiles/fig09_multiprog.dir/fig09_multiprog.cc.o"
+  "CMakeFiles/fig09_multiprog.dir/fig09_multiprog.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

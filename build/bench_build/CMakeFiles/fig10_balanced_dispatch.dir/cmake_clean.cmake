@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_balanced_dispatch"
+  "../bench/fig10_balanced_dispatch.pdb"
+  "CMakeFiles/fig10_balanced_dispatch.dir/fig10_balanced_dispatch.cc.o"
+  "CMakeFiles/fig10_balanced_dispatch.dir/fig10_balanced_dispatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_balanced_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_pcu_design"
+  "../bench/fig11_pcu_design.pdb"
+  "CMakeFiles/fig11_pcu_design.dir/fig11_pcu_design.cc.o"
+  "CMakeFiles/fig11_pcu_design.dir/fig11_pcu_design.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pcu_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

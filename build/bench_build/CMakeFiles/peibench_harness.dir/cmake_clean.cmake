@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peibench_harness.dir/harness.cc.o"
+  "CMakeFiles/peibench_harness.dir/harness.cc.o.d"
+  "libpeibench_harness.a"
+  "libpeibench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peibench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeibench_harness.a"
+)

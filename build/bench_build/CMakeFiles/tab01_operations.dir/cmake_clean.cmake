@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_operations"
+  "../bench/tab01_operations.pdb"
+  "CMakeFiles/tab01_operations.dir/tab01_operations.cc.o"
+  "CMakeFiles/tab01_operations.dir/tab01_operations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab02_config"
+  "../bench/tab02_config.pdb"
+  "CMakeFiles/tab02_config.dir/tab02_config.cc.o"
+  "CMakeFiles/tab02_config.dir/tab02_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

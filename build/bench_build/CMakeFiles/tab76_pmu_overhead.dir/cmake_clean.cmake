@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab76_pmu_overhead"
+  "../bench/tab76_pmu_overhead.pdb"
+  "CMakeFiles/tab76_pmu_overhead.dir/tab76_pmu_overhead.cc.o"
+  "CMakeFiles/tab76_pmu_overhead.dir/tab76_pmu_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab76_pmu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab76_pmu_overhead.
+# This may be replaced when dependencies are built.

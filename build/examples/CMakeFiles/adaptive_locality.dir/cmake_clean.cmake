@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_locality.dir/adaptive_locality.cpp.o"
+  "CMakeFiles/adaptive_locality.dir/adaptive_locality.cpp.o.d"
+  "adaptive_locality"
+  "adaptive_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

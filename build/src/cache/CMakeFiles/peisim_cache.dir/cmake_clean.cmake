@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/peisim_cache.dir/hierarchy.cc.o.d"
+  "libpeisim_cache.a"
+  "libpeisim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

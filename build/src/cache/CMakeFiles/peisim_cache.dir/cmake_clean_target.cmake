@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeisim_cache.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_common.dir/logging.cc.o"
+  "CMakeFiles/peisim_common.dir/logging.cc.o.d"
+  "CMakeFiles/peisim_common.dir/stats.cc.o"
+  "CMakeFiles/peisim_common.dir/stats.cc.o.d"
+  "libpeisim_common.a"
+  "libpeisim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_energy.dir/energy_model.cc.o"
+  "CMakeFiles/peisim_energy.dir/energy_model.cc.o.d"
+  "libpeisim_energy.a"
+  "libpeisim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_mem.dir/dram.cc.o"
+  "CMakeFiles/peisim_mem.dir/dram.cc.o.d"
+  "CMakeFiles/peisim_mem.dir/hmc.cc.o"
+  "CMakeFiles/peisim_mem.dir/hmc.cc.o.d"
+  "CMakeFiles/peisim_mem.dir/vmem.cc.o"
+  "CMakeFiles/peisim_mem.dir/vmem.cc.o.d"
+  "libpeisim_mem.a"
+  "libpeisim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

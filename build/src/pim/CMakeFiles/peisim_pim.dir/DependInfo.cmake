@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pim/locality_monitor.cc" "src/pim/CMakeFiles/peisim_pim.dir/locality_monitor.cc.o" "gcc" "src/pim/CMakeFiles/peisim_pim.dir/locality_monitor.cc.o.d"
+  "/root/repo/src/pim/pcu.cc" "src/pim/CMakeFiles/peisim_pim.dir/pcu.cc.o" "gcc" "src/pim/CMakeFiles/peisim_pim.dir/pcu.cc.o.d"
+  "/root/repo/src/pim/pei_op.cc" "src/pim/CMakeFiles/peisim_pim.dir/pei_op.cc.o" "gcc" "src/pim/CMakeFiles/peisim_pim.dir/pei_op.cc.o.d"
+  "/root/repo/src/pim/pim_directory.cc" "src/pim/CMakeFiles/peisim_pim.dir/pim_directory.cc.o" "gcc" "src/pim/CMakeFiles/peisim_pim.dir/pim_directory.cc.o.d"
+  "/root/repo/src/pim/pmu.cc" "src/pim/CMakeFiles/peisim_pim.dir/pmu.cc.o" "gcc" "src/pim/CMakeFiles/peisim_pim.dir/pmu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/peisim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/peisim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/peisim_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

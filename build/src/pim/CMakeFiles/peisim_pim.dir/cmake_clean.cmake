@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_pim.dir/locality_monitor.cc.o"
+  "CMakeFiles/peisim_pim.dir/locality_monitor.cc.o.d"
+  "CMakeFiles/peisim_pim.dir/pcu.cc.o"
+  "CMakeFiles/peisim_pim.dir/pcu.cc.o.d"
+  "CMakeFiles/peisim_pim.dir/pei_op.cc.o"
+  "CMakeFiles/peisim_pim.dir/pei_op.cc.o.d"
+  "CMakeFiles/peisim_pim.dir/pim_directory.cc.o"
+  "CMakeFiles/peisim_pim.dir/pim_directory.cc.o.d"
+  "CMakeFiles/peisim_pim.dir/pmu.cc.o"
+  "CMakeFiles/peisim_pim.dir/pmu.cc.o.d"
+  "libpeisim_pim.a"
+  "libpeisim_pim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_pim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_runtime.dir/system.cc.o"
+  "CMakeFiles/peisim_runtime.dir/system.cc.o.d"
+  "libpeisim_runtime.a"
+  "libpeisim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

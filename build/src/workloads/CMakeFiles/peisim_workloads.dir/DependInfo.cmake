@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/analytics.cc" "src/workloads/CMakeFiles/peisim_workloads.dir/analytics.cc.o" "gcc" "src/workloads/CMakeFiles/peisim_workloads.dir/analytics.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/peisim_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/peisim_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/graph_workloads.cc" "src/workloads/CMakeFiles/peisim_workloads.dir/graph_workloads.cc.o" "gcc" "src/workloads/CMakeFiles/peisim_workloads.dir/graph_workloads.cc.o.d"
+  "/root/repo/src/workloads/ml.cc" "src/workloads/CMakeFiles/peisim_workloads.dir/ml.cc.o" "gcc" "src/workloads/CMakeFiles/peisim_workloads.dir/ml.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/peisim_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/peisim_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/peisim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/peisim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/peisim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/peisim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peisim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_workloads.dir/analytics.cc.o"
+  "CMakeFiles/peisim_workloads.dir/analytics.cc.o.d"
+  "CMakeFiles/peisim_workloads.dir/graph.cc.o"
+  "CMakeFiles/peisim_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/peisim_workloads.dir/graph_workloads.cc.o"
+  "CMakeFiles/peisim_workloads.dir/graph_workloads.cc.o.d"
+  "CMakeFiles/peisim_workloads.dir/ml.cc.o"
+  "CMakeFiles/peisim_workloads.dir/ml.cc.o.d"
+  "CMakeFiles/peisim_workloads.dir/workload.cc.o"
+  "CMakeFiles/peisim_workloads.dir/workload.cc.o.d"
+  "libpeisim_workloads.a"
+  "libpeisim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/peisim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/peisim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/peisim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/peisim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/peisim_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_paper_baseline.cc" "tests/CMakeFiles/peisim_tests.dir/test_paper_baseline.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_paper_baseline.cc.o.d"
+  "/root/repo/tests/test_pim.cc" "tests/CMakeFiles/peisim_tests.dir/test_pim.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_pim.cc.o.d"
+  "/root/repo/tests/test_runtime_smoke.cc" "tests/CMakeFiles/peisim_tests.dir/test_runtime_smoke.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_runtime_smoke.cc.o.d"
+  "/root/repo/tests/test_sync.cc" "tests/CMakeFiles/peisim_tests.dir/test_sync.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_sync.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/peisim_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/peisim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/peisim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/peisim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/peisim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pim/CMakeFiles/peisim_pim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/peisim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/peisim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/peisim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/peisim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peisim_tests.dir/test_cache.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_cache.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_common.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_energy.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_energy.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_event_queue.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_event_queue.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_mem.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_paper_baseline.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_paper_baseline.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_pim.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_pim.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_runtime_smoke.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_runtime_smoke.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_sync.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_sync.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_system.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_system.cc.o.d"
+  "CMakeFiles/peisim_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/peisim_tests.dir/test_workloads.cc.o.d"
+  "peisim_tests"
+  "peisim_tests.pdb"
+  "peisim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peisim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
