@@ -18,8 +18,9 @@ using namespace pei;
 using peibench::runWorkload;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig02_pagerank_potential");
     peibench::printHeader(
         "Figure 2",
         "PageRank speedup from memory-side atomic addition, 9 graphs",
@@ -51,5 +52,6 @@ main()
     std::printf("\n(host/pim columns in kiloticks; dram_x = PIM DRAM "
                 "accesses over host DRAM accesses —\n"
                 "the paper reports 50x for p2p-Gnutella31.)\n");
+    peibench::benchFinish();
     return 0;
 }

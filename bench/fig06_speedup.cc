@@ -21,8 +21,9 @@ using peibench::geomean;
 using peibench::run;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig06_speedup");
     peibench::printHeader(
         "Figure 6", "Speedup under different input sizes (vs Ideal-Host)",
         "large: PIM-Only +44% GM, Locality-Aware +47% over Host-Only; "
@@ -59,5 +60,6 @@ main()
     std::printf("\n(PIM%% = fraction of PEIs Locality-Aware offloads "
                 "to memory-side PCUs; paper: 79%% for\nlarge inputs, "
                 "14%% for small inputs.)\n");
+    peibench::benchFinish();
     return 0;
 }

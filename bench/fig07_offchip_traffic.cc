@@ -21,8 +21,9 @@ using namespace pei;
 using peibench::run;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig07_offchip_traffic");
     peibench::printHeader(
         "Figure 7", "Normalized amount of off-chip transfer",
         "large: PIM-Only well below 1.0; small: far above 1.0 "
@@ -46,5 +47,6 @@ main()
                         static_cast<double>(pim.offchip_res_bytes) / 1e6);
         }
     }
+    peibench::benchFinish();
     return 0;
 }

@@ -19,8 +19,9 @@ using namespace pei;
 using peibench::runWorkload;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig08_input_sweep");
     peibench::printHeader(
         "Figure 8", "PageRank with different graph sizes",
         "Locality-Aware PIM%% grows 0.3%% -> 87%% with graph size and "
@@ -44,5 +45,6 @@ main()
                     speed(pim), speed(la), 100.0 * la.pimFraction());
     }
     std::printf("\n(speedups normalized to Host-Only.)\n");
+    peibench::benchFinish();
     return 0;
 }

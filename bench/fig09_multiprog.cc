@@ -13,8 +13,10 @@
  * sizes are drawn from small/medium.)
  */
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench/harness.hh"
 #include "common/rng.hh"
@@ -38,7 +40,11 @@ runPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
     wb->setup(rt);
     wa->spawn(rt, 8, 0);
     wb->spawn(rt, 8, 8);
+    const auto wall_start = std::chrono::steady_clock::now();
     const Tick ticks = rt.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
 
     std::string msg;
     if (!wa->validate(sys, msg) || !wb->validate(sys, msg)) {
@@ -46,6 +52,10 @@ runPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
                      msg.c_str());
         std::exit(1);
     }
+
+    peibench::recordRun(sys, wall,
+                        std::string(wa->name()) + "+" + wb->name() + "/" +
+                            execModeName(mode));
 
     std::uint64_t retired = 0;
     for (unsigned c = 0; c < sys.numCores(); ++c)
@@ -57,8 +67,9 @@ runPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig09_multiprog");
     peibench::printHeader(
         "Figure 9", "Multiprogrammed workload pairs (throughput vs "
                     "Host-Only)",
@@ -96,5 +107,6 @@ main()
     }
     std::printf("\nLocality-Aware best or tied in %d of %d mixes.\n",
                 la_best, pairs);
+    peibench::benchFinish();
     return 0;
 }

@@ -17,8 +17,9 @@ using namespace pei;
 using peibench::run;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig10_balanced_dispatch");
     peibench::printHeader(
         "Figure 10", "Balanced dispatch on SC and SVM (large inputs)",
         "up to +25% over plain Locality-Aware by balancing "
@@ -48,5 +49,6 @@ main()
     }
     std::printf("\n(speedups vs Host-Only; last column: balanced-"
                 "dispatch off-chip bytes by direction.)\n");
+    peibench::benchFinish();
     return 0;
 }

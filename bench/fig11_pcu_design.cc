@@ -48,8 +48,9 @@ avgTicks(unsigned entries, unsigned width,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig11_pcu_design");
     peibench::printHeader(
         "Figure 11", "PCU design space (Locality-Aware, medium inputs; "
                      "ATF/HG/SVM average)",
@@ -70,5 +71,6 @@ main()
         const double t = width == 1 ? base : avgTicks(4, width);
         std::printf("  width %u    : %6.3f\n", width, base / t);
     }
+    peibench::benchFinish();
     return 0;
 }

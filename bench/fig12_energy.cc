@@ -20,8 +20,9 @@ using peibench::geomean;
 using peibench::run;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "fig12_energy");
     peibench::printHeader(
         "Figure 12", "Normalized memory-hierarchy energy "
                      "(ATF/HG/SVM)",
@@ -68,5 +69,6 @@ main()
         std::printf("GM    %-11s | %55s %7.3f\n", "loc-aware", "",
                     geomean(gm_la));
     }
+    peibench::benchFinish();
     return 0;
 }

@@ -1,13 +1,57 @@
 #include "harness.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 #include "common/logging.hh"
+#include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
 namespace peibench
 {
+
+namespace
+{
+
+std::string bench_name;             ///< set by benchInit
+std::string stats_json_path;        ///< "" = recording disabled
+std::vector<std::string> records;   ///< stats-v2 records of all runs
+
+} // namespace
+
+void
+benchInit(int argc, char **argv, const std::string &name)
+{
+    bench_name = name;
+    stats_json_path = statsJsonPathFromArgs(argc, argv);
+}
+
+void
+benchFinish()
+{
+    if (stats_json_path.empty())
+        return;
+    writeRunRecords(stats_json_path, bench_name, records);
+    std::printf("stats-v2: wrote %zu record(s) to %s\n", records.size(),
+                stats_json_path.c_str());
+}
+
+void
+recordRun(System &sys, double wall_seconds, const std::string &label)
+{
+    // Every run ends with a stats audit: a bench over inconsistent
+    // accounting is as meaningless as one over wrong results.
+    const auto violations = sys.stats().audit();
+    if (!violations.empty()) {
+        for (const auto &v : violations)
+            std::fprintf(stderr, "bench: stats audit FAILED: %s\n",
+                         v.c_str());
+        std::exit(1);
+    }
+    records.push_back(runRecordJson(sys, wall_seconds, label));
+}
 
 RunResult
 runWorkload(const std::function<std::unique_ptr<Workload>()> &factory,
@@ -24,7 +68,12 @@ runWorkload(const std::function<std::unique_ptr<Workload>()> &factory,
     w->spawn(rt, threads ? threads : sys.numCores());
 
     RunResult r;
+    const auto wall_start = std::chrono::steady_clock::now();
     r.ticks = rt.run();
+    r.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    r.events = sys.eventQueue().executedCount();
 
     std::string msg;
     r.valid = w->validate(sys, msg);
@@ -33,6 +82,9 @@ runWorkload(const std::function<std::unique_ptr<Workload>()> &factory,
                      w->name(), msg.c_str());
         std::exit(1);
     }
+
+    recordRun(sys, r.wall_seconds,
+              std::string(w->name()) + "/" + execModeName(mode));
 
     r.peis_host = sys.pmu().peisHost();
     r.peis_mem = sys.pmu().peisMem();

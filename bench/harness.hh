@@ -38,6 +38,8 @@ struct RunResult
     std::uint64_t dram_reads = 0;
     std::uint64_t dram_writes = 0;
     std::uint64_t retired_ops = 0;
+    std::uint64_t events = 0;    ///< simulator events executed
+    double wall_seconds = 0.0;   ///< host wall-clock time of the run
     bool valid = false;
     EnergyBreakdown energy;
     std::map<std::string, std::uint64_t> stats;
@@ -68,6 +70,27 @@ struct RunResult
 
 /** Hook to tweak the SystemConfig before construction. */
 using ConfigTweak = std::function<void(SystemConfig &)>;
+
+/**
+ * Parse harness-level flags (`--stats-json <path>`) and name the
+ * bench.  Call first thing in main().
+ */
+void benchInit(int argc, char **argv, const std::string &name);
+
+/**
+ * Flush the stats-v2 records of every run since benchInit to the
+ * `--stats-json` path (no-op when the flag was absent).  Call last
+ * thing in main().
+ */
+void benchFinish();
+
+/**
+ * Audit @p sys's stats (aborting the bench on any violation) and
+ * append a stats-v2 run record labelled @p label.  runWorkload calls
+ * this automatically; benches that drive Runtime themselves call it
+ * once per simulation.
+ */
+void recordRun(System &sys, double wall_seconds, const std::string &label);
 
 /**
  * Run @p workload (freshly constructed by @p factory) under @p mode

@@ -6,9 +6,21 @@
  * are the ablation hooks DESIGN.md calls out for simulator
  * performance (events/second govern how large an input every figure
  * can afford).
+ *
+ * Besides the console output, the binary writes a stats-v2 JSON
+ * summary (microbenchmark rows plus a full run record of a small
+ * locality-aware simulation) to BENCH_substrate.json at the repo
+ * root; `--stats-json <path>` overrides the destination.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
 
 #include "cache/cache_array.hh"
 #include "common/bitutil.hh"
@@ -17,6 +29,8 @@
 #include "mem/vmem.hh"
 #include "pim/locality_monitor.hh"
 #include "pim/pim_directory.hh"
+#include "runtime/report.hh"
+#include "runtime/runtime.hh"
 #include "sim/event_queue.hh"
 
 namespace
@@ -168,6 +182,120 @@ BM_VirtualMemoryTranslate(benchmark::State &state)
 }
 BENCHMARK(BM_VirtualMemoryTranslate);
 
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    Histogram h;
+    Rng rng(9);
+    for (auto _ : state)
+        h.record(rng.next() >> 32);
+    benchmark::DoNotOptimize(h.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+/** Console reporter that also collects rows for the JSON summary. */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double real_ns = 0.0;
+        double items_per_sec = 0.0;
+    };
+    std::vector<Row> rows;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            Row row;
+            row.name = r.benchmark_name();
+            row.real_ns = r.GetAdjustedRealTime();
+            auto it = r.counters.find("items_per_second");
+            if (it != r.counters.end())
+                row.items_per_sec = it->second.value;
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
+/**
+ * Run a small locality-aware simulation so the substrate summary
+ * also carries a full stats-v2 run record (PEI latency histograms,
+ * counters, audit) of the composed machine.
+ */
+std::string
+substrateRunRecord()
+{
+    System sys(SystemConfig::scaled(ExecMode::LocalityAware));
+    Runtime rt(sys);
+    constexpr std::uint64_t n = 1 << 15;
+    const Addr array = rt.allocArray<std::uint64_t>(n);
+    rt.spawnThreads(sys.numCores(),
+                    [&](Ctx &ctx, unsigned tid, unsigned) -> Task {
+                        Rng rng(tid);
+                        for (int i = 0; i < 4000; ++i)
+                            co_await ctx.inc64(array + 8 * rng.below(n));
+                        co_await ctx.pfence();
+                        co_await ctx.drain();
+                    });
+    const auto wall_start = std::chrono::steady_clock::now();
+    rt.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    const auto violations = sys.stats().audit();
+    for (const auto &v : violations)
+        std::fprintf(stderr, "micro_substrate: stats audit FAILED: %s\n",
+                     v.c_str());
+    if (!violations.empty())
+        std::exit(1);
+    return runRecordJson(sys, wall, "substrate_sim/Locality-Aware");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off --stats-json before google-benchmark sees the args.
+    std::string out_path = PEISIM_ROOT "/BENCH_substrate.json";
+    std::vector<char *> bm_argv;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+            continue;
+        }
+        if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+            out_path = argv[i] + 13;
+            continue;
+        }
+        bm_argv.push_back(argv[i]);
+    }
+    int bm_argc = static_cast<int>(bm_argv.size());
+    benchmark::Initialize(&bm_argc, bm_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data()))
+        return 1;
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    const std::string record = substrateRunRecord();
+    std::ostringstream os;
+    os << "{\"tool\":\"micro_substrate\",\"benchmarks\":[";
+    for (std::size_t i = 0; i < reporter.rows.size(); ++i) {
+        const auto &row = reporter.rows[i];
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << row.name << "\",\"real_time_ns\":"
+           << row.real_ns << ",\"items_per_second\":"
+           << row.items_per_sec << "}";
+    }
+    os << "],\"records\":[" << record << "]}";
+    writeStatsJson(out_path, os.str());
+    std::printf("stats-v2: wrote %s\n", out_path.c_str());
+    return 0;
+}

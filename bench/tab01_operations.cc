@@ -12,8 +12,9 @@
 using namespace pei;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "tab01_operations");
     peibench::printHeader(
         "Table 1", "Summary of Supported PIM Operations",
         "seven operations, R/W flags, input 0-64 B, output 0-16 B");
@@ -33,5 +34,6 @@ main()
     std::printf("\nAll operations obey the single-cache-block "
                 "restriction (64 B) and are executable on both\n"
                 "host-side and memory-side PCUs.\n");
+    peibench::benchFinish();
     return 0;
 }

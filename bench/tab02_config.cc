@@ -64,8 +64,9 @@ show(const char *title, const SystemConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "tab02_config");
     peibench::printHeader("Table 2", "Baseline Simulation Configuration",
                           "16 OoO cores, 32 KB/256 KB/16 MB caches, "
                           "8 HMCs (32 GB), 80 GB/s full-duplex chain");
@@ -74,5 +75,6 @@ main()
     show("scaled() — bench configuration (1/16 caches, 1 cube, "
          "bandwidth ratio preserved)",
          SystemConfig::scaled());
+    peibench::benchFinish();
     return 0;
 }

@@ -17,8 +17,9 @@ using namespace pei;
 using peibench::run;
 
 int
-main()
+main(int argc, char **argv)
 {
+    peibench::benchInit(argc, argv, "tab76_pmu_overhead");
     peibench::printHeader(
         "Section 7.6", "Performance overhead of the PMU "
                        "(Locality-Aware, medium inputs)",
@@ -64,5 +65,6 @@ main()
     std::printf("\n(default column in kiloticks; others show speedup "
                 "from idealization — paper reports\n+0.13%% and "
                 "+0.31%%, i.e. negligible.)\n");
+    peibench::benchFinish();
     return 0;
 }

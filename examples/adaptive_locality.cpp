@@ -5,18 +5,23 @@
  * host/memory split shifts automatically — the behaviour Figure 8
  * of the paper demonstrates with growing graphs.
  *
- *   ./build/examples/adaptive_locality
+ *   ./build/examples/adaptive_locality [--stats-json <path>]
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.hh"
+#include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pei;
+    const std::string stats_path = statsJsonPathFromArgs(argc, argv);
+    std::vector<std::string> records;
 
     std::printf("%-14s %10s %10s %8s %12s\n", "working set",
                 "vs L3", "ticks(k)", "PIM%", "offchip(MB)");
@@ -39,7 +44,20 @@ main()
                             }
                             co_await ctx.drain();
                         });
+        const auto wall_start = std::chrono::steady_clock::now();
         const Tick ticks = rt.run();
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+
+        for (const auto &v : sys.stats().audit()) {
+            std::fprintf(stderr, "stats audit FAILED: %s\n", v.c_str());
+            return 1;
+        }
+        records.push_back(runRecordJson(
+            sys, wall,
+            "adaptive_locality/ws" + std::to_string(counters * 8)));
 
         const double total = static_cast<double>(sys.pmu().peisHost() +
                                                  sys.pmu().peisMem());
@@ -55,5 +73,7 @@ main()
     std::printf("\nNo flags changed between rows: the PMU's locality "
                 "monitor observes L3 accesses and PIM\nissues, and "
                 "steers each PEI to the faster side on its own.\n");
+    if (!stats_path.empty())
+        writeRunRecords(stats_path, "adaptive_locality", records);
     return 0;
 }

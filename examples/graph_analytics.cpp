@@ -6,22 +6,32 @@
  * motivates (random 8-byte updates across a huge vertex array).
  *
  *   ./build/examples/graph_analytics [vertices] [edges]
+ *                                    [--stats-json <path>]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "runtime/report.hh"
 #include "workloads/workload.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace pei;
+    const std::string stats_path = statsJsonPathFromArgs(argc, argv);
+    std::vector<std::string> records;
 
     const std::uint64_t vertices =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 98304;
+        argc > 1 && argv[1][0] != '-'
+            ? std::strtoull(argv[1], nullptr, 10)
+            : 98304;
     const std::uint64_t edges =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 786432;
+        argc > 2 && argv[1][0] != '-' && argv[2][0] != '-'
+            ? std::strtoull(argv[2], nullptr, 10)
+            : 786432;
 
     std::printf("PageRank on an R-MAT graph: %llu vertices, %llu "
                 "edges\n\n",
@@ -38,13 +48,25 @@ main(int argc, char **argv)
         auto pr = makePageRank(vertices, edges, 42, 2);
         pr->setup(rt);
         pr->spawn(rt, sys.numCores());
+        const auto wall_start = std::chrono::steady_clock::now();
         const Tick ticks = rt.run();
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
 
         std::string msg;
         if (!pr->validate(sys, msg)) {
             std::fprintf(stderr, "validation failed: %s\n", msg.c_str());
             return 1;
         }
+        for (const auto &v : sys.stats().audit()) {
+            std::fprintf(stderr, "stats audit FAILED: %s\n", v.c_str());
+            return 1;
+        }
+        records.push_back(runRecordJson(
+            sys, wall,
+            std::string("graph_analytics/") + execModeName(mode)));
 
         if (mode == ExecMode::IdealHost)
             base = static_cast<double>(ticks);
@@ -66,5 +88,7 @@ main(int argc, char **argv)
                 "hot (hub) vertices stay on the host's\ncaches, "
                 "cold vertices execute inside the memory cube — no "
                 "software hints required.\n");
+    if (!stats_path.empty())
+        writeRunRecords(stats_path, "graph_analytics", records);
     return 0;
 }

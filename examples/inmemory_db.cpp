@@ -9,14 +9,16 @@
  * the overflow chain, translating each virtual pointer through its
  * own TLB (paper §4.4 — memory never translates addresses).
  *
- *   ./build/examples/inmemory_db
+ *   ./build/examples/inmemory_db [--stats-json <path>]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
 #include "pim/pei_op.hh"
 #include "common/rng.hh"
+#include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
 using namespace pei;
@@ -36,8 +38,9 @@ hashKey(std::uint64_t key)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string stats_path = statsJsonPathFromArgs(argc, argv);
     System sys(SystemConfig::scaled(ExecMode::LocalityAware));
     Runtime rt(sys);
 
@@ -100,7 +103,21 @@ main()
         co_await ctx.drain();
     });
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const Tick ticks = rt.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+    for (const auto &v : sys.stats().audit()) {
+        std::fprintf(stderr, "stats audit FAILED: %s\n", v.c_str());
+        return 1;
+    }
+    if (!stats_path.empty())
+        writeRunRecords(stats_path, "inmemory_db",
+                        {runRecordJson(sys, wall,
+                                       "inmemory_db/Locality-Aware")});
+
     std::printf("inmemory_db: %llu probes (%llu matched) in %llu "
                 "kiloticks\n",
                 (unsigned long long)probes, (unsigned long long)found,

@@ -9,18 +9,21 @@
  * the L1) or inside the memory cube — the program never says where.
  *
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/examples/quickstart [--stats-json <path>]
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/rng.hh"
+#include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pei;
+    const std::string stats_path = statsJsonPathFromArgs(argc, argv);
 
     // A machine with locality-aware PEI execution (the paper's
     // proposal).  SystemConfig::paperBaseline() gives the exact
@@ -47,7 +50,20 @@ main()
                         co_await ctx.drain();
                     });
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const Tick ticks = rt.run();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+    for (const auto &v : sys.stats().audit()) {
+        std::fprintf(stderr, "stats audit FAILED: %s\n", v.c_str());
+        return 1;
+    }
+    if (!stats_path.empty())
+        writeRunRecords(stats_path, "quickstart",
+                        {runRecordJson(sys, wall,
+                                       "quickstart/Locality-Aware")});
 
     std::uint64_t total = 0;
     for (std::uint64_t i = 0; i < counters; ++i)

@@ -44,6 +44,45 @@ CacheHierarchy::CacheHierarchy(EventQueue &eq, const CacheConfig &cfg,
     stats.add("cache.invalidations", &stat_invalidations);
     stats.add("cache.back_invalidations", &stat_back_inval);
     stats.add("cache.back_writebacks", &stat_back_wb);
+
+    auto level_invariant = [&stats](const char *level, Counter *hits,
+                                    Counter *misses, Counter *accesses) {
+        stats.addInvariant(
+            std::string("cache.") + level + " hits + misses == accesses",
+            [hits, misses, accesses] {
+                const std::uint64_t parts =
+                    hits->value() + misses->value();
+                if (parts == accesses->value())
+                    return std::string();
+                return "hits=" + std::to_string(hits->value()) +
+                       " + misses=" + std::to_string(misses->value()) +
+                       " != accesses=" +
+                       std::to_string(accesses->value());
+            });
+    };
+    level_invariant("l1", &stat_l1_hits, &stat_l1_misses,
+                    &stat_l1_accesses);
+    level_invariant("l2", &stat_l2_hits, &stat_l2_misses,
+                    &stat_l2_accesses);
+    // L3 accesses that coalesce onto an in-flight DRAM fetch are
+    // neither hits nor misses; they retry (and get classified) when
+    // the fetch lands.
+    stats.add("cache.l3_mshr_coalesced", &stat_l3_coalesced);
+    stats.addInvariant(
+        "cache.l3 hits + misses + mshr_coalesced == accesses",
+        [this] {
+            const std::uint64_t parts = stat_l3_hits.value() +
+                                        stat_l3_misses.value() +
+                                        stat_l3_coalesced.value();
+            if (parts == stat_l3_accesses.value())
+                return std::string();
+            return "hits=" + std::to_string(stat_l3_hits.value()) +
+                   " + misses=" + std::to_string(stat_l3_misses.value()) +
+                   " + coalesced=" +
+                   std::to_string(stat_l3_coalesced.value()) +
+                   " != accesses=" +
+                   std::to_string(stat_l3_accesses.value());
+        });
 }
 
 void
@@ -142,6 +181,7 @@ CacheHierarchy::accessL3(unsigned core, Addr paddr, bool is_write,
 
     // Serialize against an in-flight DRAM fetch of the same block.
     if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
+        ++stat_l3_coalesced;
         it->second.waiters.push_back(
             [this, core, paddr, is_write, done = std::move(done)]() mutable {
                 accessL3(core, paddr, is_write, std::move(done));

@@ -180,6 +180,7 @@ class CacheHierarchy
     Counter stat_l1_accesses;
     Counter stat_l2_accesses;
     Counter stat_l3_accesses;
+    Counter stat_l3_coalesced; ///< L3 accesses folded into an MSHR
     Counter stat_xbar_msgs;
     Counter stat_writebacks_l3;   ///< dirty private data merged into L3
     Counter stat_writebacks_mem;  ///< dirty L3 victims written to DRAM

@@ -7,12 +7,82 @@
 namespace pei
 {
 
+namespace
+{
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+Histogram::approxPercentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < num_buckets; ++b) {
+        seen += buckets_[b];
+        if (seen > target)
+            return bucketHigh(b) < max_ ? bucketHigh(b) : max_;
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
 void
 StatRegistry::add(const std::string &name, Counter *counter)
 {
     auto [it, inserted] = counters.emplace(name, counter);
     (void)it;
     panic_if(!inserted, "duplicate stat name '%s'", name.c_str());
+}
+
+void
+StatRegistry::add(const std::string &name, Histogram *histogram)
+{
+    panic_if(counters.count(name) != 0, "histogram '%s' shadows a counter",
+             name.c_str());
+    auto [it, inserted] = histograms.emplace(name, histogram);
+    (void)it;
+    panic_if(!inserted, "duplicate histogram name '%s'", name.c_str());
+}
+
+void
+StatRegistry::addInvariant(const std::string &name, InvariantFn check)
+{
+    invariants.emplace_back(name, std::move(check));
 }
 
 std::uint64_t
@@ -41,6 +111,20 @@ StatRegistry::has(const std::string &name) const
     return counters.count(name) != 0;
 }
 
+const Histogram &
+StatRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms.find(name);
+    fatal_if(it == histograms.end(), "unknown histogram '%s'", name.c_str());
+    return *it->second;
+}
+
+bool
+StatRegistry::hasHistogram(const std::string &name) const
+{
+    return histograms.count(name) != 0;
+}
+
 std::map<std::string, std::uint64_t>
 StatRegistry::snapshot() const
 {
@@ -55,6 +139,20 @@ StatRegistry::resetAll()
 {
     for (auto &[name, counter] : counters)
         counter->reset();
+    for (auto &[name, histogram] : histograms)
+        histogram->reset();
+}
+
+std::vector<std::string>
+StatRegistry::audit() const
+{
+    std::vector<std::string> violations;
+    for (const auto &[name, check] : invariants) {
+        std::string msg = check();
+        if (!msg.empty())
+            violations.push_back(name + ": " + msg);
+    }
+    return violations;
 }
 
 std::string
@@ -65,7 +163,69 @@ StatRegistry::dump() const
         if (counter->value() != 0)
             os << name << " = " << counter->value() << "\n";
     }
+    for (const auto &[name, h] : histograms) {
+        if (h->count() != 0) {
+            os << name << " = {count " << h->count() << ", mean "
+               << h->mean() << ", min " << h->min() << ", max "
+               << h->max() << ", p99 " << h->approxPercentile(0.99)
+               << "}\n";
+        }
+    }
     return os.str();
+}
+
+std::string
+StatRegistry::countersJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, counter] : counters) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":" << counter->value();
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+StatRegistry::histogramsJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, h] : histograms) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(name) << "\":{\"count\":" << h->count()
+           << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
+           << ",\"max\":" << h->max() << ",\"mean\":" << h->mean()
+           << ",\"buckets\":[";
+        bool bfirst = true;
+        for (unsigned b = 0; b < Histogram::num_buckets; ++b) {
+            if (h->bucketCount(b) == 0)
+                continue;
+            if (!bfirst)
+                os << ",";
+            bfirst = false;
+            os << "[" << Histogram::bucketLow(b) << ","
+               << Histogram::bucketHigh(b) << "," << h->bucketCount(b)
+               << "]";
+        }
+        os << "]}";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+StatRegistry::toJson() const
+{
+    return "{\"counters\":" + countersJson() +
+           ",\"histograms\":" + histogramsJson() + "}";
 }
 
 } // namespace pei

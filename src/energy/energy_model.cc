@@ -52,9 +52,10 @@ computeEnergy(const StatRegistry &stats, const EnergyParams &p)
 
     const double dir_ops =
         static_cast<double>(stats.get("pim_dir.acquires"));
+    // Every PEI lookup reads the monitor array exactly once (hit,
+    // miss, and ignored hit alike).
     const double mon_ops =
-        static_cast<double>(stats.get("loc_mon.hits")) +
-        static_cast<double>(stats.get("loc_mon.misses"));
+        static_cast<double>(stats.get("loc_mon.lookups"));
     e.pmu = dir_ops * p.pim_dir_access_pj + mon_ops * p.loc_mon_access_pj;
 
     return e;

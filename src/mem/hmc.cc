@@ -52,6 +52,20 @@ HmcController::HmcController(EventQueue &eq, const HmcConfig &cfg,
     stats.add("hmc.reads", &stat_reads);
     stats.add("hmc.writes", &stat_writes);
     stats.add("hmc.pim_ops", &stat_pim_ops);
+    stats.add("hmc.read_ticks", &hist_read_ticks);
+    stats.add("hmc.pim_roundtrip_ticks", &hist_pim_roundtrip_ticks);
+    stats.addInvariant(
+        "hmc.pim_ops == pim round trips",
+        [this] {
+            const std::uint64_t recorded =
+                hist_pim_roundtrip_ticks.count();
+            if (stat_pim_ops.value() == recorded)
+                return std::string();
+            return "pim_ops=" + std::to_string(stat_pim_ops.value()) +
+                   " but " + std::to_string(recorded) +
+                   " round trips timed (dispatched PIM op never "
+                   "responded?)";
+        });
 }
 
 unsigned
@@ -67,12 +81,15 @@ HmcController::readBlock(Addr paddr, Callback cb)
     const MemLoc loc = map.decode(paddr);
     ema_req.add(flitsOf(16), eq.now());
 
+    const Tick issued = eq.now();
     const Tick arrive = req_link.send(16, loc.cube);
-    eq.scheduleAt(arrive, [this, paddr, loc, cb = std::move(cb)]() mutable {
+    eq.scheduleAt(arrive, [this, paddr, loc, issued,
+                           cb = std::move(cb)]() mutable {
         vaults[loc.globalVault]->accessBlock(
-            paddr, false, [this, loc, cb = std::move(cb)]() mutable {
+            paddr, false, [this, loc, issued, cb = std::move(cb)]() mutable {
                 ema_res.add(flitsOf(16 + block_size), eq.now());
                 const Tick back = res_link.send(16 + block_size, loc.cube);
+                hist_read_ticks.record(back - issued);
                 eq.scheduleAt(back, std::move(cb));
             });
     });
@@ -116,12 +133,13 @@ HmcController::sendPim(PimPacket pkt, PimHandler::Respond cb)
              loc.globalVault);
 
     ema_req.add(flitsOf(pkt.requestBytes()), eq.now());
+    const Tick issued = eq.now();
     const Tick arrive = req_link.send(pkt.requestBytes(), loc.cube);
-    eq.scheduleAt(arrive, [this, loc, handler, pkt = std::move(pkt),
+    eq.scheduleAt(arrive, [this, loc, handler, issued, pkt = std::move(pkt),
                            cb = std::move(cb)]() mutable {
         handler->handle(
             std::move(pkt),
-            [this, loc, cb = std::move(cb)](PimPacket done) mutable {
+            [this, loc, issued, cb = std::move(cb)](PimPacket done) mutable {
                 const unsigned bytes = done.responseBytes();
                 Tick back;
                 if (bytes > 0) {
@@ -133,6 +151,7 @@ HmcController::sendPim(PimPacket pkt, PimHandler::Respond cb)
                     back = eq.now() + nsToTicks(cfg.link.latency_ns) +
                            nsToTicks(cfg.link.hop_ns) * loc.cube;
                 }
+                hist_pim_roundtrip_ticks.record(back - issued);
                 eq.scheduleAt(back, [cb = std::move(cb),
                                      done = std::move(done)]() mutable {
                     cb(std::move(done));

@@ -14,6 +14,7 @@
 #ifndef PEISIM_MEM_HMC_HH
 #define PEISIM_MEM_HMC_HH
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -110,8 +111,15 @@ class EmaCounter
             return;
         const std::uint64_t periods = (now - last) / half_period;
         last += periods * half_period;
-        for (std::uint64_t i = 0; i < periods && value_ > 1e-12; ++i)
-            value_ *= 0.5;
+        if (periods == 0)
+            return;
+        // Closed-form halving: value * 2^-periods.  Doubles underflow
+        // to zero well before 2^-2048, so any gap past that many
+        // half-periods clamps straight to zero in O(1).
+        if (periods >= 2048)
+            value_ = 0.0;
+        else
+            value_ = std::ldexp(value_, -static_cast<int>(periods));
         if (value_ <= 1e-12)
             value_ = 0.0;
     }
@@ -182,6 +190,8 @@ class HmcController
     Counter stat_reads;
     Counter stat_writes;
     Counter stat_pim_ops;
+    Histogram hist_read_ticks;          ///< demand read round trip
+    Histogram hist_pim_roundtrip_ticks; ///< PIM dispatch round trip
 };
 
 } // namespace pei

@@ -36,6 +36,7 @@ struct PimPacket
     std::uint16_t op = 0;      ///< opcode (index into the PEI op table)
     bool is_writer = false;    ///< does the op modify its target block?
     Addr paddr = invalid_addr; ///< physical target address
+    Tick issue_tick = 0;       ///< PMU issue time (latency accounting)
     unsigned input_size = 0;
     unsigned output_size = 0;
     std::array<std::uint8_t, max_operand_bytes> input{};

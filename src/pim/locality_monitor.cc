@@ -16,9 +16,25 @@ LocalityMonitor::LocalityMonitor(unsigned sets, unsigned ways,
 {
     fatal_if(!isPowerOf2(sets) || ways == 0,
              "bad locality monitor geometry %ux%u", sets, ways);
+    stats.add(name + ".lookups", &stat_lookups);
     stats.add(name + ".hits", &stat_hits);
     stats.add(name + ".misses", &stat_misses);
     stats.add(name + ".ignored_hits", &stat_ignored_hits);
+    stats.addInvariant(
+        name + ".hits + misses + ignored_hits == lookups",
+        [this] {
+            const std::uint64_t parts = stat_hits.value() +
+                                        stat_misses.value() +
+                                        stat_ignored_hits.value();
+            if (parts == stat_lookups.value())
+                return std::string();
+            return "hits=" + std::to_string(stat_hits.value()) +
+                   " misses=" + std::to_string(stat_misses.value()) +
+                   " ignored_hits=" +
+                   std::to_string(stat_ignored_hits.value()) +
+                   " sum to " + std::to_string(parts) + " != lookups=" +
+                   std::to_string(stat_lookups.value());
+        });
 }
 
 LocalityMonitor::Entry *
@@ -36,6 +52,7 @@ LocalityMonitor::find(Addr block)
 bool
 LocalityMonitor::lookupForPei(Addr block)
 {
+    ++stat_lookups;
     Entry *e = find(block);
     if (!e) {
         ++stat_misses;
@@ -43,10 +60,11 @@ LocalityMonitor::lookupForPei(Addr block)
     }
     if (use_ignore_flag && e->ignore) {
         // First hit on a PIM-allocated entry does not count as high
-        // locality, but clears the flag so subsequent hits do.
+        // locality, but clears the flag so subsequent hits do.  It is
+        // an ignored hit, not a miss: the three outcome counters
+        // partition lookups disjointly.
         e->ignore = false;
         ++stat_ignored_hits;
-        ++stat_misses;
         return false;
     }
     ++stat_hits;

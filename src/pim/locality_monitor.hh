@@ -58,8 +58,10 @@ class LocalityMonitor
     Ticks accessLatency() const { return latency; }
     void setAccessLatency(Ticks t) { latency = t; }
 
+    std::uint64_t lookups() const { return stat_lookups.value(); }
     std::uint64_t hits() const { return stat_hits.value(); }
     std::uint64_t misses() const { return stat_misses.value(); }
+    std::uint64_t ignoredHits() const { return stat_ignored_hits.value(); }
 
   private:
     struct Entry
@@ -94,6 +96,7 @@ class LocalityMonitor
     std::uint64_t use_clock = 0;
     std::vector<Entry> array;
 
+    Counter stat_lookups;
     Counter stat_hits;
     Counter stat_misses;
     Counter stat_ignored_hits;

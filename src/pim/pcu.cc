@@ -16,6 +16,30 @@ Pcu::Pcu(EventQueue &eq, const std::string &name, unsigned entries,
     port_free_at.assign(issue_width, 0);
     stats.add(name + ".executed", &stat_executed);
     stats.add(name + ".buffer_stalls", &stat_buffer_stalls);
+    stats.add(name + ".buffer_acquires", &stat_entry_acquires);
+    stats.add(name + ".buffer_releases", &stat_entry_releases);
+    stats.add(name + ".buffer_wait_ticks", &hist_buffer_wait);
+    stats.addInvariant(
+        name + ".operand buffer acquire/release balance",
+        [this] {
+            if (stat_entry_acquires.value() ==
+                stat_entry_releases.value() + in_use)
+                return std::string();
+            return "acquires=" +
+                   std::to_string(stat_entry_acquires.value()) +
+                   " != releases=" +
+                   std::to_string(stat_entry_releases.value()) +
+                   " + in_use=" + std::to_string(in_use);
+        });
+    stats.addInvariant(
+        name + ".operand buffer drains by end of sim",
+        [this] {
+            if (in_use == 0 && entry_waiters.empty())
+                return std::string();
+            return std::to_string(in_use) + " entry(ies) still held, " +
+                   std::to_string(entry_waiters.size()) +
+                   " waiter(s) still queued";
+        });
 }
 
 void
@@ -23,11 +47,13 @@ Pcu::acquireEntry(Callback then)
 {
     if (in_use < capacity) {
         ++in_use;
+        ++stat_entry_acquires;
+        hist_buffer_wait.record(0);
         then();
         return;
     }
     ++stat_buffer_stalls;
-    entry_waiters.push_back(std::move(then));
+    entry_waiters.emplace_back(eq.now(), std::move(then));
 }
 
 void
@@ -35,10 +61,13 @@ Pcu::releaseEntry()
 {
     panic_if(in_use == 0, "operand buffer release underflow");
     --in_use;
+    ++stat_entry_releases;
     if (!entry_waiters.empty()) {
         ++in_use;
-        Callback next = std::move(entry_waiters.front());
+        ++stat_entry_acquires;
+        auto [asked, next] = std::move(entry_waiters.front());
         entry_waiters.pop_front();
+        hist_buffer_wait.record(eq.now() - asked);
         eq.schedule(0, std::move(next));
     }
 }
@@ -65,6 +94,8 @@ MemSidePcu::MemSidePcu(EventQueue &eq, const PcuConfig &cfg, Vault &vault,
 {
     stats.add("mem_pcu" + std::to_string(vault.globalId()) + ".ops",
               &stat_ops);
+    stats.add("mem_pcu" + std::to_string(vault.globalId()) + ".dram_ticks",
+              &hist_dram_ticks);
 }
 
 void
@@ -76,9 +107,12 @@ MemSidePcu::handle(PimPacket pkt, Respond respond)
         // The operand buffer issues the DRAM read immediately, even
         // if the computation logic is busy (paper §4.2).
         const Addr paddr = pkt.paddr;
-        vault.accessBlock(paddr, false, [this, pkt = std::move(pkt),
+        const Tick read_start = eq.now();
+        vault.accessBlock(paddr, false, [this, read_start,
+                                         pkt = std::move(pkt),
                                          respond =
                                              std::move(respond)]() mutable {
+            hist_dram_ticks.record(eq.now() - read_start);
             const PeiOpInfo &info =
                 peiOpInfo(static_cast<PeiOpcode>(pkt.op));
             logic.compute(info.compute_cycles,

@@ -77,11 +77,16 @@ class Pcu
     std::uint64_t mhz;
 
     unsigned in_use = 0;
-    std::deque<Callback> entry_waiters;
+    /** Waiters queued for an operand-buffer entry, with the tick the
+     *  wait began (for the buffer-wait histogram). */
+    std::deque<std::pair<Tick, Callback>> entry_waiters;
     std::vector<Tick> port_free_at; ///< one per issue-width port
 
     Counter stat_executed;
     Counter stat_buffer_stalls;
+    Counter stat_entry_acquires;
+    Counter stat_entry_releases;
+    Histogram hist_buffer_wait; ///< acquireEntry request → grant
 };
 
 /**
@@ -108,6 +113,7 @@ class MemSidePcu : public PimHandler
     Pcu logic;
 
     Counter stat_ops;
+    Histogram hist_dram_ticks; ///< target-block DRAM read latency
 };
 
 } // namespace pei

@@ -19,9 +19,26 @@ PimDirectory::PimDirectory(EventQueue &eq, unsigned num_entries,
         entries.resize(num_entries);
     }
     stats.add(name + ".acquires", &stat_acquires);
+    stats.add(name + ".releases", &stat_releases);
     stats.add(name + ".conflicts", &stat_conflicts);
     stats.add(name + ".false_conflicts", &stat_false_conflicts);
     stats.add(name + ".pfences", &stat_pfences);
+    stats.addInvariant(
+        name + ".acquires == releases",
+        [this] {
+            if (stat_acquires.value() == stat_releases.value())
+                return std::string();
+            return "acquires=" + std::to_string(stat_acquires.value()) +
+                   " != releases=" + std::to_string(stat_releases.value());
+        });
+    stats.addInvariant(
+        name + ".no writers in flight at end of sim",
+        [this] {
+            if (writers_in_flight == 0)
+                return std::string();
+            return std::to_string(writers_in_flight) +
+                   " writer(s) never retired";
+        });
 }
 
 std::size_t
@@ -53,10 +70,17 @@ PimDirectory::grantLocked(Entry &e, const Waiter &w)
 }
 
 void
-PimDirectory::acquire(Addr block, bool writer, Callback granted)
+PimDirectory::registerWriter()
+{
+    ++writers_in_flight;
+}
+
+void
+PimDirectory::acquire(Addr block, bool writer, Callback granted,
+                      bool writer_registered)
 {
     ++stat_acquires;
-    if (writer)
+    if (writer && !writer_registered)
         ++writers_in_flight;
 
     Entry &e = entryFor(block);
@@ -108,6 +132,7 @@ PimDirectory::drainEntry(Entry &e)
 void
 PimDirectory::release(Addr block, bool writer)
 {
+    ++stat_releases;
     Entry &e = entryFor(block);
     auto holder =
         std::find(e.holder_blocks.begin(), e.holder_blocks.end(), block);

@@ -48,11 +48,24 @@ class PimDirectory
                  StatRegistry &stats, const std::string &name = "pim_dir");
 
     /**
+     * Register a writer PEI for pfence tracking *at issue time*,
+     * before its directory acquisition (which may trail the issue by
+     * a TLB-miss penalty or the PMU crossbar hop).  The matching
+     * release() retires the writer, so pfence covers the whole
+     * issue-to-retire pipeline.  Callers that pre-register must pass
+     * writer_registered = true to acquire().
+     */
+    void registerWriter();
+
+    /**
      * Acquire the lock covering @p block (a block address) for a
      * reader or writer PEI; @p granted fires (after the directory
      * access latency) once the PEI may execute atomically.
+     * @p writer_registered marks a writer already counted in flight
+     * via registerWriter().
      */
-    void acquire(Addr block, bool writer, Callback granted);
+    void acquire(Addr block, bool writer, Callback granted,
+                 bool writer_registered = false);
 
     /** Release a previously granted acquisition. */
     void release(Addr block, bool writer);
@@ -113,6 +126,7 @@ class PimDirectory
     std::deque<Callback> pfence_waiters;
 
     Counter stat_acquires;
+    Counter stat_releases;
     Counter stat_conflicts;
     Counter stat_false_conflicts;
     Counter stat_pfences;

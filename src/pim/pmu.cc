@@ -61,10 +61,27 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
         hmc.attachPimHandler(v, mem_pcus.back().get());
     }
 
+    stats.add("pmu.peis_issued", &stat_peis_issued);
     stats.add("pmu.peis_host", &stat_peis_host);
     stats.add("pmu.peis_mem", &stat_peis_mem);
     stats.add("pmu.balanced_to_host", &stat_balanced_to_host);
     stats.add("pmu.balanced_to_mem", &stat_balanced_to_mem);
+    stats.add("pmu.pei_latency_ticks", &hist_pei_latency);
+    stats.add("pmu.pei_latency_host_ticks", &hist_pei_latency_host);
+    stats.add("pmu.pei_latency_mem_ticks", &hist_pei_latency_mem);
+    stats.add("pmu.dir_wait_ticks", &hist_dir_wait);
+    stats.add("pmu.host_cache_ticks", &hist_host_cache);
+    stats.addInvariant(
+        "pmu.peis_issued == peis_host + peis_mem",
+        [this] {
+            const std::uint64_t retired =
+                stat_peis_host.value() + stat_peis_mem.value();
+            if (stat_peis_issued.value() == retired)
+                return std::string();
+            return "issued=" + std::to_string(stat_peis_issued.value()) +
+                   " != host+mem=" + std::to_string(retired) +
+                   " (PEI lost in the pipeline?)";
+        });
 }
 
 void
@@ -72,8 +89,14 @@ Pmu::executePei(unsigned core, PeiOpcode op, Addr paddr, const void *input,
                 unsigned input_size, DoneFn done, Ticks issue_latency)
 {
     PimPacket pkt = makePimPacket(op, paddr, input, input_size);
+    pkt.issue_tick = eq.now();
+    ++stat_peis_issued;
+    // Writers count as in flight from issue (not from directory
+    // acquisition), so a pfence issued right after covers PEIs still
+    // in their TLB-penalty or crossbar window; the directory retires
+    // the writer in Pmu::finish via release().
     if (pkt.is_writer)
-        ++pending_writers;
+        dir->registerWriter();
 
     if (issue_latency > 0) {
         eq.schedule(issue_latency,
@@ -93,12 +116,16 @@ Pmu::startPei(unsigned core, PimPacket pkt, DoneFn done)
         // PEIs are ordinary host instructions: atomicity is free
         // (ideal zero-cycle directory) and no PCU resources exist.
         const Addr block = pkt.paddr >> block_shift;
-        dir->acquire(block, pkt.is_writer,
-                     [this, core, pkt = std::move(pkt),
+        const bool writer = pkt.is_writer;
+        const Tick asked = eq.now();
+        dir->acquire(block, writer,
+                     [this, core, asked, pkt = std::move(pkt),
                       done = std::move(done)]() mutable {
+                         hist_dir_wait.record(eq.now() - asked);
                          hostExecute(core, std::move(pkt),
                                      std::move(done));
-                     });
+                     },
+                     /*writer_registered=*/writer);
         return;
     }
 
@@ -116,13 +143,16 @@ Pmu::startPei(unsigned core, PimPacket pkt, DoneFn done)
                  done = std::move(done)]() mutable {
                     const Addr block = pkt.paddr >> block_shift;
                     const bool writer = pkt.is_writer;
+                    const Tick asked = eq.now();
                     dir->acquire(
                         block, writer,
-                        [this, core, pkt = std::move(pkt),
+                        [this, core, asked, pkt = std::move(pkt),
                          done = std::move(done)]() mutable {
+                            hist_dir_wait.record(eq.now() - asked);
                             decide(core, std::move(pkt),
                                    std::move(done));
-                        });
+                        },
+                        /*writer_registered=*/writer);
                 });
 }
 
@@ -218,8 +248,11 @@ Pmu::hostExecuteBuffered(unsigned core, PimPacket pkt, DoneFn done)
     // Fig. 4 steps ③-⑤: load the target block through the core's
     // L1, compute, store back if the PEI modifies the block.
     const Addr paddr = pkt.paddr;
-    hierarchy.access(core, paddr, false, [this, core, pkt = std::move(pkt),
+    const Tick load_start = eq.now();
+    hierarchy.access(core, paddr, false, [this, core, load_start,
+                                          pkt = std::move(pkt),
                                           done = std::move(done)]() mutable {
+        hist_host_cache.record(eq.now() - load_start);
         const PeiOpInfo &info = peiOpInfo(static_cast<PeiOpcode>(pkt.op));
         auto after_compute = [this, core, pkt = std::move(pkt),
                               done = std::move(done)]() mutable {
@@ -275,11 +308,19 @@ void
 Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
             const DoneFn &done)
 {
-    if (executed_at_host)
+    const Ticks latency = eq.now() - pkt.issue_tick;
+    hist_pei_latency.record(latency);
+    if (executed_at_host) {
         ++stat_peis_host;
-    else
+        hist_pei_latency_host.record(latency);
+    } else {
         ++stat_peis_mem;
+        hist_pei_latency_mem.record(latency);
+    }
 
+    // Releasing the directory entry also retires the writer that
+    // executePei registered, waking pfence waiters when it was the
+    // last one in flight.
     dir->release(pkt.paddr >> block_shift, pkt.is_writer);
     // Host-side execution held a host-PCU operand buffer entry;
     // memory-side execution used the vault PCU's buffer instead
@@ -287,16 +328,6 @@ Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
     if (executed_at_host && cfg.mode != ExecMode::IdealHost)
         host_pcus[core]->releaseEntry();
 
-    if (pkt.is_writer) {
-        panic_if(pending_writers == 0, "writer retire underflow");
-        --pending_writers;
-        if (pending_writers == 0 && !pfence_waiters.empty()) {
-            auto waiters = std::move(pfence_waiters);
-            pfence_waiters.clear();
-            for (auto &w : waiters)
-                eq.schedule(0, std::move(w));
-        }
-    }
     done(pkt);
 }
 
@@ -304,13 +335,11 @@ void
 Pmu::pfence(Callback done)
 {
     // The fence completes once every writer PEI issued before it has
-    // retired (§3.2).  Tracking covers the whole PEI pipeline, which
-    // subsumes the directory's "all entries readable" condition.
-    if (pending_writers == 0) {
-        eq.schedule(dir->accessLatency(), std::move(done));
-        return;
-    }
-    pfence_waiters.push_back(std::move(done));
+    // retired (§3.2).  The directory tracks writers from issue
+    // (registerWriter in executePei) to retire (release in finish),
+    // which covers the whole PEI pipeline and subsumes the "all
+    // entries readable" condition.
+    dir->pfence(std::move(done));
 }
 
 } // namespace pei

@@ -20,7 +20,6 @@
 #ifndef PEISIM_PIM_PMU_HH
 #define PEISIM_PIM_PMU_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -127,16 +126,22 @@ class Pmu
     std::vector<std::unique_ptr<Pcu>> host_pcus;
     std::vector<std::unique_ptr<MemSidePcu>> mem_pcus;
 
-    /** Writer PEIs alive anywhere in the PEI pipeline (including
-     *  those still queued for a PCU operand-buffer entry), so that
-     *  pfence covers the full issue-to-retire window. */
-    std::uint64_t pending_writers = 0;
-    std::deque<Callback> pfence_waiters;
-
+    Counter stat_peis_issued;
     Counter stat_peis_host;
     Counter stat_peis_mem;
     Counter stat_balanced_to_host;
     Counter stat_balanced_to_mem;
+
+    /** End-to-end PEI latency (issue → retire), all PEIs. */
+    Histogram hist_pei_latency;
+    /** End-to-end latency of host-side-executed PEIs. */
+    Histogram hist_pei_latency_host;
+    /** End-to-end latency of memory-side-executed PEIs. */
+    Histogram hist_pei_latency_mem;
+    /** Directory wait: acquire request → lock granted. */
+    Histogram hist_dir_wait;
+    /** Cache-stage latency of host-executed PEIs (target load). */
+    Histogram hist_host_cache;
 };
 
 } // namespace pei

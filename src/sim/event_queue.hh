@@ -10,9 +10,9 @@
 #ifndef PEISIM_SIM_EVENT_QUEUE_HH
 #define PEISIM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hh"
@@ -49,7 +49,8 @@ class EventQueue
                  "scheduling event in the past (%llu < %llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(cur_tick));
-        events.push(Event{when, next_seq++, std::move(fn)});
+        events.push_back(Event{when, next_seq++, std::move(fn)});
+        std::push_heap(events.begin(), events.end(), Later{});
     }
 
     /** True if no events are pending. */
@@ -62,7 +63,7 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return events.empty() ? max_tick : events.top().when;
+        return events.empty() ? max_tick : events.front().when;
     }
 
     /**
@@ -74,9 +75,12 @@ class EventQueue
     {
         if (events.empty())
             return false;
-        // The callback may schedule new events; move it out first.
-        Event ev = std::move(const_cast<Event &>(events.top()));
-        events.pop();
+        // pop_heap moves the front event to the back, where it can be
+        // moved from without casting away constness.  The callback
+        // may schedule new events, so extract it fully first.
+        std::pop_heap(events.begin(), events.end(), Later{});
+        Event ev = std::move(events.back());
+        events.pop_back();
         cur_tick = ev.when;
         ev.fn();
         ++executed_count;
@@ -91,7 +95,7 @@ class EventQueue
     run(Tick limit = max_tick)
     {
         std::uint64_t n = 0;
-        while (!events.empty() && events.top().when <= limit) {
+        while (!events.empty() && events.front().when <= limit) {
             runOne();
             ++n;
         }
@@ -109,6 +113,8 @@ class EventQueue
         EventFn fn;
     };
 
+    /** Heap comparator: the earliest (tick, seq) event sits at the
+     *  front of the std::*_heap-maintained vector. */
     struct Later
     {
         bool
@@ -120,7 +126,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    std::vector<Event> events; ///< binary heap ordered by Later
     Tick cur_tick = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t executed_count = 0;

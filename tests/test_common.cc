@@ -155,6 +155,141 @@ TEST(Stats, PrefixSumIsExactPrefix)
     EXPECT_EQ(reg.sumByPrefix(""), 7u);
 }
 
+TEST(Histogram, BucketsAreLog2Ranges)
+{
+    Histogram h;
+    h.record(0); // bucket 0
+    h.record(1); // bucket 1
+    h.record(2); // bucket 2
+    h.record(3); // bucket 2
+    h.record(4); // bucket 3
+    h.record(1023);
+    h.record(1024);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 1023 + 1024);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1024u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(10), 1u); // 1023 in [512, 1023]
+    EXPECT_EQ(h.bucketCount(11), 1u); // 1024 in [1024, 2047]
+    EXPECT_EQ(Histogram::bucketLow(11), 1024u);
+    EXPECT_EQ(Histogram::bucketHigh(11), 2047u);
+}
+
+TEST(Histogram, ExtremesLandInTheLastBucket)
+{
+    Histogram h;
+    h.record(~0ULL);
+    EXPECT_EQ(h.bucketCount(64), 1u);
+    EXPECT_EQ(h.max(), ~0ULL);
+    EXPECT_EQ(Histogram::bucketHigh(64), ~0ULL);
+}
+
+TEST(Histogram, MeanMinMaxAndReset)
+{
+    Histogram h;
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.record(10);
+    h.record(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ApproxPercentileWalksBuckets)
+{
+    Histogram h;
+    for (int i = 0; i < 99; ++i)
+        h.record(4); // bucket 3, upper bound 7
+    h.record(1000); // bucket 10 (clamped to the observed max)
+    EXPECT_EQ(h.approxPercentile(0.5), 7u);
+    EXPECT_EQ(h.approxPercentile(1.0), 1000u);
+}
+
+TEST(Stats, HistogramRegistrationAndReset)
+{
+    StatRegistry reg;
+    Histogram h;
+    reg.add("pmu.lat_ticks", &h);
+    ASSERT_TRUE(reg.hasHistogram("pmu.lat_ticks"));
+    EXPECT_FALSE(reg.hasHistogram("pmu.other"));
+    h.record(5);
+    EXPECT_EQ(reg.histogram("pmu.lat_ticks").count(), 1u);
+    reg.resetAll();
+    EXPECT_EQ(reg.histogram("pmu.lat_ticks").count(), 0u);
+}
+
+TEST(Stats, JsonExportIsWellFormed)
+{
+    StatRegistry reg;
+    Counter c;
+    Histogram h;
+    reg.add("x.events", &c);
+    reg.add("x.lat_ticks", &h);
+    c += 3;
+    h.record(0);
+    h.record(5);
+
+    const std::string counters = reg.countersJson();
+    EXPECT_EQ(counters, "{\"x.events\":3}");
+
+    const std::string hists = reg.histogramsJson();
+    EXPECT_NE(hists.find("\"x.lat_ticks\""), std::string::npos);
+    EXPECT_NE(hists.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(hists.find("\"sum\":5"), std::string::npos);
+    EXPECT_NE(hists.find("[0,0,1]"), std::string::npos); // bucket 0
+    EXPECT_NE(hists.find("[4,7,1]"), std::string::npos); // bucket 3
+
+    const std::string all = reg.toJson();
+    EXPECT_EQ(all.find("{\"counters\":{"), 0u);
+    EXPECT_NE(all.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(Stats, EmptyHistogramStillExported)
+{
+    // HostOnly runs must still emit all three PEI latency histograms;
+    // empty ones export with count 0 and an empty bucket list.
+    StatRegistry reg;
+    Histogram h;
+    reg.add("pmu.pei_latency_mem_ticks", &h);
+    const std::string hists = reg.histogramsJson();
+    EXPECT_NE(hists.find("\"pmu.pei_latency_mem_ticks\""),
+              std::string::npos);
+    EXPECT_NE(hists.find("\"count\":0"), std::string::npos);
+    EXPECT_NE(hists.find("\"buckets\":[]"), std::string::npos);
+}
+
+TEST(Stats, AuditReportsViolationsWithValues)
+{
+    StatRegistry reg;
+    Counter a, b;
+    reg.add("y.ins", &a);
+    reg.add("y.outs", &b);
+    reg.addInvariant("y.ins == y.outs", [&a, &b] {
+        if (a.value() == b.value())
+            return std::string();
+        return "ins=" + std::to_string(a.value()) +
+               " != outs=" + std::to_string(b.value());
+    });
+    EXPECT_TRUE(reg.audit().empty());
+    a += 2;
+    ++b;
+    const auto violations = reg.audit();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("y.ins == y.outs"), std::string::npos);
+    EXPECT_NE(violations[0].find("ins=2"), std::string::npos);
+    ++b;
+    EXPECT_TRUE(reg.audit().empty());
+}
+
 TEST(Types, Conversions)
 {
     EXPECT_EQ(nsToTicks(1.0), 4u);

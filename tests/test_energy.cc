@@ -29,16 +29,15 @@ TEST(EnergyModel, ZeroStatsZeroEnergy)
     stats.add("link.req.flits", &c5);
     stats.add("link.res.flits", &c6);
     stats.add("pim_dir.acquires", &c7);
-    Counter c8, c9;
-    stats.add("loc_mon.hits", &c8);
-    stats.add("loc_mon.misses", &c9);
+    Counter c8;
+    stats.add("loc_mon.lookups", &c8);
     EXPECT_DOUBLE_EQ(computeEnergy(stats).total(), 0.0);
 }
 
 TEST(EnergyModel, AttributesComponentsIndependently)
 {
     StatRegistry stats;
-    Counter l1, l2, l3, xbar, req, res, dir, mh, mm;
+    Counter l1, l2, l3, xbar, req, res, dir, lookups;
     stats.add("cache.l1_accesses", &l1);
     stats.add("cache.l2_accesses", &l2);
     stats.add("cache.l3_accesses", &l3);
@@ -46,8 +45,7 @@ TEST(EnergyModel, AttributesComponentsIndependently)
     stats.add("link.req.flits", &req);
     stats.add("link.res.flits", &res);
     stats.add("pim_dir.acquires", &dir);
-    stats.add("loc_mon.hits", &mh);
-    stats.add("loc_mon.misses", &mm);
+    stats.add("loc_mon.lookups", &lookups);
     Counter va, vr, vw, vt;
     stats.add("vault0.activates", &va);
     stats.add("vault0.reads", &vr);

@@ -311,5 +311,36 @@ TEST(EmaCounter, HalvesEveryPeriod)
     EXPECT_DOUBLE_EQ(ema.value(4000), 8.0);
 }
 
+TEST(EmaCounter, ModerateGapMatchesRepeatedHalving)
+{
+    EmaCounter ema(1000);
+    ema.add(64, 0);
+    EXPECT_DOUBLE_EQ(ema.value(10000), 64.0 / 1024.0);
+}
+
+TEST(EmaCounter, LongIdleGapDecaysInConstantTime)
+{
+    // A multi-trillion-period idle gap: the closed-form decay must
+    // evaluate instantly (the per-period halving loop would not
+    // return within the lifetime of the test) and clamp to zero.
+    EmaCounter ema(1000);
+    ema.add(1u << 30, 0);
+    const Tick far_future = 30'000'000'000'000'000ULL;
+    EXPECT_DOUBLE_EQ(ema.value(far_future), 0.0);
+    // The counter keeps working after the gap.
+    ema.add(64, far_future);
+    EXPECT_DOUBLE_EQ(ema.value(far_future), 64.0);
+    EXPECT_DOUBLE_EQ(ema.value(far_future + 1000), 32.0);
+}
+
+TEST(EmaCounter, TinyResidueClampsToZero)
+{
+    // 2^-50 after 60 halvings of 1024 is below the 1e-12 floor; the
+    // clamp keeps denormals out of the hot dispatch path.
+    EmaCounter ema(1000);
+    ema.add(1024, 0);
+    EXPECT_DOUBLE_EQ(ema.value(60000), 0.0);
+}
+
 } // namespace
 } // namespace pei

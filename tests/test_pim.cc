@@ -313,6 +313,8 @@ TEST(PimDirectoryStress, RandomAcquireReleaseBalances)
     dir.pfence([&fence_done] { fence_done = true; });
     eq.run();
     EXPECT_TRUE(fence_done);
+    // End-of-sim audit: acquire/release balance and no writers left.
+    EXPECT_TRUE(stats.audit().empty());
 }
 
 // ----------------------------------------------------- LocalityMonitor
@@ -363,6 +365,24 @@ TEST(LocalityMonitorTest, LruEvictionForgetsColdBlocks)
     EXPECT_FALSE(mon.lookupForPei(0));
     EXPECT_TRUE(mon.lookupForPei(4));
     EXPECT_TRUE(mon.lookupForPei(8));
+}
+
+TEST(LocalityMonitorTest, StatsPartitionLookups)
+{
+    StatRegistry stats;
+    LocalityMonitor mon(64, 4, stats, 10, true, "m7");
+    mon.onPimIssue(0x55);
+    EXPECT_FALSE(mon.lookupForPei(0x55)); // ignored hit — NOT a miss
+    EXPECT_TRUE(mon.lookupForPei(0x55));  // genuine hit
+    EXPECT_FALSE(mon.lookupForPei(0x99)); // genuine miss
+    EXPECT_EQ(mon.lookups(), 3u);
+    EXPECT_EQ(mon.hits(), 1u);
+    EXPECT_EQ(mon.misses(), 1u);
+    EXPECT_EQ(mon.ignoredHits(), 1u);
+    // The disjoint-outcome invariant the monitor registers.
+    EXPECT_EQ(mon.hits() + mon.misses() + mon.ignoredHits(),
+              mon.lookups());
+    EXPECT_TRUE(stats.audit().empty());
 }
 
 TEST(LocalityMonitorTest, PartialTagsCanFalsePositive)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
 namespace pei
@@ -52,12 +53,59 @@ runMix(const SystemConfig &cfg, std::uint64_t seed,
                         co_await ctx.drain();
                     });
     const Tick t = rt.run();
+    // stats-v2 audit: every run must end with consistent accounting
+    // (directory balance, PEI conservation, cache hit/miss totals).
+    for (const auto &v : sys.stats().audit())
+        ADD_FAILURE() << "stats audit: " << v;
     if (sum_out) {
         *sum_out = 0;
         for (std::uint64_t i = 0; i < n; ++i)
             *sum_out += sys.memory().read<std::uint64_t>(arr + 8 * i);
     }
     return t;
+}
+
+TEST(SystemProperties, PeiLatencyHistogramsAndRunRecord)
+{
+    System sys(smallConfig(ExecMode::LocalityAware));
+    Runtime rt(sys);
+    const std::uint64_t n = 1 << 10;
+    const Addr arr = rt.allocArray<std::uint64_t>(n);
+    rt.spawnThreads(sys.numCores(),
+                    [&](Ctx &ctx, unsigned tid, unsigned) -> Task {
+                        Rng rng(tid + 1);
+                        for (int i = 0; i < 500; ++i)
+                            co_await ctx.inc64(arr + 8 * rng.below(n));
+                        co_await ctx.drain();
+                    });
+    rt.run();
+
+    StatRegistry &st = sys.stats();
+    ASSERT_TRUE(st.hasHistogram("pmu.pei_latency_ticks"));
+    ASSERT_TRUE(st.hasHistogram("pmu.pei_latency_host_ticks"));
+    ASSERT_TRUE(st.hasHistogram("pmu.pei_latency_mem_ticks"));
+    ASSERT_TRUE(st.hasHistogram("pmu.dir_wait_ticks"));
+
+    // Every issued PEI contributes exactly one end-to-end sample,
+    // split disjointly by execution location.
+    const Histogram &all = st.histogram("pmu.pei_latency_ticks");
+    EXPECT_EQ(all.count(), st.get("pmu.peis_issued"));
+    EXPECT_EQ(st.histogram("pmu.pei_latency_host_ticks").count() +
+                  st.histogram("pmu.pei_latency_mem_ticks").count(),
+              all.count());
+    EXPECT_GT(all.count(), 0u);
+    EXPECT_GT(all.mean(), 0.0);
+    EXPECT_TRUE(st.audit().empty());
+
+    // The exported run record carries the full stats-v2 shape.
+    const std::string rec = runRecordJson(sys, 0.5, "test_system/mix");
+    for (const char *field :
+         {"\"label\"", "\"config\"", "\"sim_ticks\"", "\"events\"",
+          "\"wall_seconds\"", "\"events_per_sec\"", "\"counters\"",
+          "\"histograms\"", "\"pmu.pei_latency_ticks\"",
+          "\"pmu.pei_latency_host_ticks\"",
+          "\"pmu.pei_latency_mem_ticks\""})
+        EXPECT_NE(rec.find(field), std::string::npos) << field;
 }
 
 TEST(SystemProperties, FullyDeterministic)
