@@ -10,12 +10,16 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "workloads/graph.hh"
 
 using namespace pei;
-using peibench::runWorkload;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submitWorkload;
 
 int
 main(int argc, char **argv)
@@ -27,24 +31,43 @@ main(int argc, char **argv)
         "up to +53% on large graphs; up to -20% on cache-resident ones "
         "(e.g. p2p-Gnutella31, 50x DRAM accesses)");
 
+    struct Row
+    {
+        const NamedGraphSpec *spec;
+        RunHandle host, pim;
+    };
+    std::vector<Row> rows;
+    for (const NamedGraphSpec &spec : figureGraphs()) {
+        auto factory = [spec] {
+            return makePageRank(spec.vertices, spec.edges, 1, 1);
+        };
+        const std::string base = std::string("PR/") + spec.name + "/";
+        rows.push_back(
+            {&spec,
+             submitWorkload(factory, base + "Ideal-Host",
+                            ExecMode::IdealHost),
+             submitWorkload(factory, base + "PIM-Only",
+                            ExecMode::PimOnly)});
+    }
+    peibench::sweepRun();
+
     std::printf("%-18s %9s %10s | %8s %8s %8s | %9s\n", "graph",
                 "vertices", "edges", "host", "pim", "speedup",
                 "dram_x");
-    for (const NamedGraphSpec &spec : figureGraphs()) {
-        auto factory = [&spec] {
-            return makePageRank(spec.vertices, spec.edges, 1, 1);
-        };
-        const auto host =
-            runWorkload(factory, ExecMode::IdealHost);
-        const auto pim = runWorkload(factory, ExecMode::PimOnly);
+    for (const Row &row : rows) {
+        if (!peibench::allOk({row.host, row.pim}))
+            continue;
+        const auto &host = result(row.host);
+        const auto &pim = result(row.pim);
         const double speedup = static_cast<double>(host.ticks) /
                                static_cast<double>(pim.ticks);
         const double dram_ratio =
             static_cast<double>(pim.dramAccesses()) /
             static_cast<double>(host.dramAccesses());
         std::printf("%-18s %9llu %10llu | %8llu %8llu %7.2fx | %8.1fx\n",
-                    spec.name, (unsigned long long)spec.vertices,
-                    (unsigned long long)spec.edges,
+                    row.spec->name,
+                    (unsigned long long)row.spec->vertices,
+                    (unsigned long long)row.spec->edges,
                     (unsigned long long)(host.ticks / 1000),
                     (unsigned long long)(pim.ticks / 1000), speedup,
                     dram_ratio);
@@ -52,6 +75,5 @@ main(int argc, char **argv)
     std::printf("\n(host/pim columns in kiloticks; dram_x = PIM DRAM "
                 "accesses over host DRAM accesses —\n"
                 "the paper reports 50x for p2p-Gnutella31.)\n");
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

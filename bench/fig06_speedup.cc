@@ -12,13 +12,16 @@
  */
 
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "bench/harness.hh"
 
 using namespace pei;
+using peibench::RunHandle;
 using peibench::geomean;
-using peibench::run;
+using peibench::result;
+using peibench::submit;
 
 int
 main(int argc, char **argv)
@@ -30,18 +33,34 @@ main(int argc, char **argv)
         "small: PIM-Only -20%, Locality-Aware ~ Host-Only; medium "
         "graphs: Locality-Aware beats both");
 
-    for (InputSize size :
-         {InputSize::Small, InputSize::Medium, InputSize::Large}) {
+    const InputSize sizes[] = {InputSize::Small, InputSize::Medium,
+                               InputSize::Large};
+    const ExecMode modes[] = {ExecMode::IdealHost, ExecMode::HostOnly,
+                              ExecMode::PimOnly, ExecMode::LocalityAware};
+    std::map<std::pair<int, int>, std::vector<RunHandle>> cells;
+    for (InputSize size : sizes) {
+        for (WorkloadKind kind : allWorkloadKinds()) {
+            auto &cell = cells[{(int)size, (int)kind}];
+            for (ExecMode mode : modes)
+                cell.push_back(submit(kind, size, mode));
+        }
+    }
+    peibench::sweepRun();
+
+    for (InputSize size : sizes) {
         std::printf("\n--- (%s inputs) ---\n", sizeName(size));
         std::printf("%-5s %10s %10s %10s %10s | %6s\n", "app",
                     "ideal", "host-only", "pim-only", "loc-aware",
                     "PIM%%");
         std::vector<double> gm_host, gm_pim, gm_la;
         for (WorkloadKind kind : allWorkloadKinds()) {
-            const auto ideal = run(kind, size, ExecMode::IdealHost);
-            const auto host = run(kind, size, ExecMode::HostOnly);
-            const auto pim = run(kind, size, ExecMode::PimOnly);
-            const auto la = run(kind, size, ExecMode::LocalityAware);
+            const auto &cell = cells[{(int)size, (int)kind}];
+            if (!peibench::allOk({cell[0], cell[1], cell[2], cell[3]}))
+                continue;
+            const auto &ideal = result(cell[0]);
+            const auto &host = result(cell[1]);
+            const auto &pim = result(cell[2]);
+            const auto &la = result(cell[3]);
 
             const auto speed = [&](const peibench::RunResult &r) {
                 return static_cast<double>(ideal.ticks) /
@@ -54,12 +73,14 @@ main(int argc, char **argv)
                         kindName(kind), 1.0, speed(host), speed(pim),
                         speed(la), 100.0 * la.pimFraction());
         }
-        std::printf("%-5s %10.3f %10.3f %10.3f %10.3f |\n", "GM", 1.0,
-                    geomean(gm_host), geomean(gm_pim), geomean(gm_la));
+        if (!gm_host.empty()) {
+            std::printf("%-5s %10.3f %10.3f %10.3f %10.3f |\n", "GM",
+                        1.0, geomean(gm_host), geomean(gm_pim),
+                        geomean(gm_la));
+        }
     }
     std::printf("\n(PIM%% = fraction of PEIs Locality-Aware offloads "
                 "to memory-side PCUs; paper: 79%% for\nlarge inputs, "
                 "14%% for small inputs.)\n");
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

@@ -14,11 +14,15 @@
  */
 
 #include <cstdio>
+#include <map>
+#include <utility>
 
 #include "bench/harness.hh"
 
 using namespace pei;
-using peibench::run;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submit;
 
 int
 main(int argc, char **argv)
@@ -29,15 +33,29 @@ main(int argc, char **argv)
         "large: PIM-Only well below 1.0; small: far above 1.0 "
         "(up to 502x in SC)");
 
-    for (InputSize size : {InputSize::Small, InputSize::Large}) {
+    const InputSize sizes[] = {InputSize::Small, InputSize::Large};
+    std::map<std::pair<int, int>, std::pair<RunHandle, RunHandle>> cells;
+    for (InputSize size : sizes) {
+        for (WorkloadKind kind : allWorkloadKinds()) {
+            cells[{(int)size, (int)kind}] = {
+                submit(kind, size, ExecMode::HostOnly),
+                submit(kind, size, ExecMode::PimOnly)};
+        }
+    }
+    peibench::sweepRun();
+
+    for (InputSize size : sizes) {
         std::printf("\n--- (%s inputs, bytes normalized to host-side "
                     "execution) ---\n",
                     sizeName(size));
         std::printf("%-5s %12s | %10s | %10s %10s\n", "app", "host(MB)",
                     "pim-only", "pim req/res MB", "");
         for (WorkloadKind kind : allWorkloadKinds()) {
-            const auto host = run(kind, size, ExecMode::HostOnly);
-            const auto pim = run(kind, size, ExecMode::PimOnly);
+            const auto &cell = cells[{(int)size, (int)kind}];
+            if (!peibench::allOk({cell.first, cell.second}))
+                continue;
+            const auto &host = result(cell.first);
+            const auto &pim = result(cell.second);
             std::printf("%-5s %12.2f | %10.2f | %8.1f %8.1f\n",
                         kindName(kind),
                         static_cast<double>(host.offchipBytes()) / 1e6,
@@ -47,6 +65,5 @@ main(int argc, char **argv)
                         static_cast<double>(pim.offchip_res_bytes) / 1e6);
         }
     }
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

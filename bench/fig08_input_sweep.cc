@@ -11,12 +11,16 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "workloads/graph.hh"
 
 using namespace pei;
-using peibench::runWorkload;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submitWorkload;
 
 int
 main(int argc, char **argv)
@@ -27,24 +31,44 @@ main(int argc, char **argv)
         "Locality-Aware PIM%% grows 0.3%% -> 87%% with graph size and "
         "its speedup tracks max(Host-Only, PIM-Only)");
 
-    std::printf("%-18s %9s | %9s %9s %9s | %6s\n", "graph", "vertices",
-                "host-only", "pim-only", "loc-aware", "PIM%");
+    struct Row
+    {
+        const NamedGraphSpec *spec;
+        RunHandle host, pim, la;
+    };
+    std::vector<Row> rows;
     for (const NamedGraphSpec &spec : figureGraphs()) {
-        auto factory = [&spec] {
+        auto factory = [spec] {
             return makePageRank(spec.vertices, spec.edges, 1, 1);
         };
-        const auto host = runWorkload(factory, ExecMode::HostOnly);
-        const auto pim = runWorkload(factory, ExecMode::PimOnly);
-        const auto la = runWorkload(factory, ExecMode::LocalityAware);
+        const std::string base = std::string("PR/") + spec.name + "/";
+        rows.push_back({&spec,
+                        submitWorkload(factory, base + "Host-Only",
+                                       ExecMode::HostOnly),
+                        submitWorkload(factory, base + "PIM-Only",
+                                       ExecMode::PimOnly),
+                        submitWorkload(factory, base + "Locality-Aware",
+                                       ExecMode::LocalityAware)});
+    }
+    peibench::sweepRun();
+
+    std::printf("%-18s %9s | %9s %9s %9s | %6s\n", "graph", "vertices",
+                "host-only", "pim-only", "loc-aware", "PIM%");
+    for (const Row &row : rows) {
+        if (!peibench::allOk({row.host, row.pim, row.la}))
+            continue;
+        const auto &host = result(row.host);
+        const auto &pim = result(row.pim);
+        const auto &la = result(row.la);
         const auto speed = [&](const peibench::RunResult &r) {
             return static_cast<double>(host.ticks) /
                    static_cast<double>(r.ticks);
         };
         std::printf("%-18s %9llu | %9.3f %9.3f %9.3f | %5.1f%%\n",
-                    spec.name, (unsigned long long)spec.vertices, 1.0,
+                    row.spec->name,
+                    (unsigned long long)row.spec->vertices, 1.0,
                     speed(pim), speed(la), 100.0 * la.pimFraction());
     }
     std::printf("\n(speedups normalized to Host-Only.)\n");
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

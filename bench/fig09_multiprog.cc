@@ -16,20 +16,26 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "bench/harness.hh"
 #include "common/rng.hh"
 #include "runtime/runtime.hh"
 
 using namespace pei;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submitCustom;
 
 namespace
 {
 
-double
+/** Two workloads share one System, eight cores each. */
+RunResult
 runPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
-        ExecMode mode)
+        ExecMode mode, const std::string &label, JobCtx &ctx)
 {
     SystemConfig cfg = SystemConfig::scaled(mode);
     System sys(cfg);
@@ -40,28 +46,36 @@ runPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
     wb->setup(rt);
     wa->spawn(rt, 8, 0);
     wb->spawn(rt, 8, 8);
-    const auto wall_start = std::chrono::steady_clock::now();
-    const Tick ticks = rt.run();
-    const double wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - wall_start)
-                            .count();
 
-    std::string msg;
-    if (!wa->validate(sys, msg) || !wb->validate(sys, msg)) {
-        std::fprintf(stderr, "fig09: validation failed: %s\n",
-                     msg.c_str());
-        std::exit(1);
+    double wall = 0.0;
+    {
+        WatchGuard watch(ctx, sys.eventQueue());
+        const auto wall_start = std::chrono::steady_clock::now();
+        rt.run();
+        wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - wall_start)
+                   .count();
     }
 
-    peibench::recordRun(sys, wall,
-                        std::string(wa->name()) + "+" + wb->name() + "/" +
-                            execModeName(mode));
+    std::string msg;
+    if (!wa->validate(sys, msg) || !wb->validate(sys, msg))
+        throw std::runtime_error("pair validation failed: " + msg);
 
-    std::uint64_t retired = 0;
-    for (unsigned c = 0; c < sys.numCores(); ++c)
-        retired += sys.core(c).retiredOps();
-    return 1000.0 * static_cast<double>(retired) /
-           static_cast<double>(ticks);
+    RunResult r;
+    collectRun(sys, r, wall, label);
+    return r;
+}
+
+RunHandle
+submitPair(WorkloadKind ka, InputSize sa, WorkloadKind kb, InputSize sb,
+           ExecMode mode)
+{
+    const std::string label = std::string(kindName(ka)) + "/" +
+                              sizeName(sa) + "+" + kindName(kb) + "/" +
+                              sizeName(sb) + "/" + execModeName(mode);
+    return submitCustom(label, [=](JobCtx &ctx) {
+        return runPair(ka, sa, kb, sb, mode, label, ctx);
+    });
 }
 
 } // namespace
@@ -80,33 +94,48 @@ main(int argc, char **argv)
     Rng rng(2015);
     const auto &kinds = allWorkloadKinds();
 
+    struct Mix
+    {
+        WorkloadKind ka, kb;
+        InputSize sa, sb;
+        RunHandle host, pim, la;
+    };
+    std::vector<Mix> mixes;
+    for (int i = 0; i < pairs; ++i) {
+        Mix m;
+        m.ka = kinds[rng.below(kinds.size())];
+        m.kb = kinds[rng.below(kinds.size())];
+        m.sa = rng.chance(0.5) ? InputSize::Small : InputSize::Medium;
+        m.sb = rng.chance(0.5) ? InputSize::Small : InputSize::Medium;
+        m.host = submitPair(m.ka, m.sa, m.kb, m.sb, ExecMode::HostOnly);
+        m.pim = submitPair(m.ka, m.sa, m.kb, m.sb, ExecMode::PimOnly);
+        m.la = submitPair(m.ka, m.sa, m.kb, m.sb,
+                          ExecMode::LocalityAware);
+        mixes.push_back(m);
+    }
+    peibench::sweepRun();
+
     std::printf("%-24s | %9s %9s %9s\n", "pair", "host-only", "pim-only",
                 "loc-aware");
-    int la_best = 0;
-    for (int i = 0; i < pairs; ++i) {
-        const WorkloadKind ka = kinds[rng.below(kinds.size())];
-        const WorkloadKind kb = kinds[rng.below(kinds.size())];
-        const InputSize sa =
-            rng.chance(0.5) ? InputSize::Small : InputSize::Medium;
-        const InputSize sb =
-            rng.chance(0.5) ? InputSize::Small : InputSize::Medium;
-
-        const double host = runPair(ka, sa, kb, sb, ExecMode::HostOnly);
-        const double pim = runPair(ka, sa, kb, sb, ExecMode::PimOnly);
-        const double la =
-            runPair(ka, sa, kb, sb, ExecMode::LocalityAware);
+    int la_best = 0, rendered = 0;
+    for (const Mix &m : mixes) {
+        if (!peibench::allOk({m.host, m.pim, m.la}))
+            continue;
+        const double host = result(m.host).opsPerKilotick();
+        const double pim = result(m.pim).opsPerKilotick();
+        const double la = result(m.la).opsPerKilotick();
 
         char label[64];
         std::snprintf(label, sizeof(label), "%s/%s + %s/%s",
-                      kindName(ka), sizeName(sa), kindName(kb),
-                      sizeName(sb));
+                      kindName(m.ka), sizeName(m.sa), kindName(m.kb),
+                      sizeName(m.sb));
         std::printf("%-24s | %9.3f %9.3f %9.3f%s\n", label, 1.0,
                     pim / host, la / host,
                     (la >= host && la >= pim) ? "  <- LA best" : "");
         la_best += (la >= host && la >= pim);
+        ++rendered;
     }
     std::printf("\nLocality-Aware best or tied in %d of %d mixes.\n",
-                la_best, pairs);
-    peibench::benchFinish();
-    return 0;
+                la_best, rendered);
+    return peibench::benchFinish();
 }

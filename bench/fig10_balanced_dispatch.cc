@@ -10,11 +10,14 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.hh"
 
 using namespace pei;
-using peibench::run;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submit;
 
 int
 main(int argc, char **argv)
@@ -25,30 +28,45 @@ main(int argc, char **argv)
         "up to +25% over plain Locality-Aware by balancing "
         "request/response link load");
 
+    struct Row
+    {
+        WorkloadKind kind;
+        RunHandle host, pim, la, bal;
+    };
+    std::vector<Row> rows;
+    for (WorkloadKind kind : {WorkloadKind::SC, WorkloadKind::SVM}) {
+        rows.push_back(
+            {kind,
+             submit(kind, InputSize::Large, ExecMode::HostOnly),
+             submit(kind, InputSize::Large, ExecMode::PimOnly),
+             submit(kind, InputSize::Large, ExecMode::LocalityAware),
+             submit(kind, InputSize::Large, ExecMode::LocalityAware,
+                    [](SystemConfig &cfg) {
+                        cfg.pim.balanced_dispatch = true;
+                    })});
+    }
+    peibench::sweepRun();
+
     std::printf("%-5s %10s %10s %10s %12s | %13s\n", "app", "host-only",
                 "pim-only", "loc-aware", "la+balanced", "req/res MB");
-    for (WorkloadKind kind : {WorkloadKind::SC, WorkloadKind::SVM}) {
-        const auto host = run(kind, InputSize::Large, ExecMode::HostOnly);
-        const auto pim = run(kind, InputSize::Large, ExecMode::PimOnly);
-        const auto la =
-            run(kind, InputSize::Large, ExecMode::LocalityAware);
-        const auto bal = run(kind, InputSize::Large,
-                             ExecMode::LocalityAware,
-                             [](SystemConfig &cfg) {
-                                 cfg.pim.balanced_dispatch = true;
-                             });
+    for (const Row &row : rows) {
+        if (!peibench::allOk({row.host, row.pim, row.la, row.bal}))
+            continue;
+        const auto &host = result(row.host);
+        const auto &pim = result(row.pim);
+        const auto &la = result(row.la);
+        const auto &bal = result(row.bal);
         const auto speed = [&](const peibench::RunResult &r) {
             return static_cast<double>(host.ticks) /
                    static_cast<double>(r.ticks);
         };
         std::printf("%-5s %10.3f %10.3f %10.3f %12.3f | %5.0f/%-5.0f\n",
-                    kindName(kind), 1.0, speed(pim), speed(la),
+                    kindName(row.kind), 1.0, speed(pim), speed(la),
                     speed(bal),
                     static_cast<double>(bal.offchip_req_bytes) / 1e6,
                     static_cast<double>(bal.offchip_res_bytes) / 1e6);
     }
     std::printf("\n(speedups vs Host-Only; last column: balanced-"
                 "dispatch off-chip bytes by direction.)\n");
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

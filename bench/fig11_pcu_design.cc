@@ -11,12 +11,17 @@
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.hh"
 
 using namespace pei;
-using peibench::run;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submitWorkload;
 
 namespace
 {
@@ -25,22 +30,39 @@ const std::vector<WorkloadKind> apps = {WorkloadKind::ATF,
                                         WorkloadKind::HG,
                                         WorkloadKind::SVM};
 
-double
-avgTicks(unsigned entries, unsigned width,
-         std::vector<double> *per_app = nullptr)
+/// Handles of the three app runs for one (entries, width) point.
+std::map<std::pair<unsigned, unsigned>, std::vector<RunHandle>> points;
+
+void
+submitPoint(unsigned entries, unsigned width)
 {
-    double sum = 0.0;
+    auto &handles = points[{entries, width}];
+    if (!handles.empty())
+        return;
     for (WorkloadKind kind : apps) {
-        const auto r = run(kind, InputSize::Medium,
-                           ExecMode::LocalityAware,
-                           [entries, width](SystemConfig &cfg) {
-                               cfg.pim.pcu.operand_buffer_entries =
-                                   entries;
-                               cfg.pim.pcu.issue_width = width;
-                           });
-        sum += static_cast<double>(r.ticks);
-        if (per_app)
-            per_app->push_back(static_cast<double>(r.ticks));
+        const std::string label =
+            std::string(kindName(kind)) + "/medium/Locality-Aware/buf" +
+            std::to_string(entries) + "/w" + std::to_string(width);
+        handles.push_back(submitWorkload(
+            [kind] { return makeWorkload(kind, InputSize::Medium); },
+            label, ExecMode::LocalityAware,
+            [entries, width](SystemConfig &cfg) {
+                cfg.pim.pcu.operand_buffer_entries = entries;
+                cfg.pim.pcu.issue_width = width;
+            }));
+    }
+}
+
+/** Average ticks across the three apps; 0 when any run is not ok. */
+double
+avgTicks(unsigned entries, unsigned width)
+{
+    const auto &handles = points[{entries, width}];
+    double sum = 0.0;
+    for (RunHandle h : handles) {
+        if (!result(h).ok())
+            return 0.0;
+        sum += static_cast<double>(result(h).ticks);
     }
     return sum / static_cast<double>(apps.size());
 }
@@ -57,20 +79,27 @@ main(int argc, char **argv)
         "(a) 4-entry operand buffer saturates PEI MLP (>30% over 1 "
         "entry); (b) issue width does not matter");
 
+    for (unsigned entries : {1u, 2u, 4u, 8u, 16u})
+        submitPoint(entries, 1);
+    for (unsigned width : {2u, 4u})
+        submitPoint(4, width);
+    peibench::sweepRun();
+
+    const double base = avgTicks(4, 1);
     std::printf("\n(a) operand buffer size (issue width 1), speedup vs "
                 "default 4 entries\n");
-    const double base = avgTicks(4, 1);
     for (unsigned entries : {1u, 2u, 4u, 8u, 16u}) {
-        const double t = entries == 4 ? base : avgTicks(entries, 1);
-        std::printf("  %2u entries : %6.3f\n", entries, base / t);
+        const double t = avgTicks(entries, 1);
+        if (base > 0.0 && t > 0.0)
+            std::printf("  %2u entries : %6.3f\n", entries, base / t);
     }
 
     std::printf("\n(b) computation-logic issue width (4-entry buffer), "
                 "speedup vs width 1\n");
     for (unsigned width : {1u, 2u, 4u}) {
-        const double t = width == 1 ? base : avgTicks(4, width);
-        std::printf("  width %u    : %6.3f\n", width, base / t);
+        const double t = avgTicks(4, width);
+        if (base > 0.0 && t > 0.0)
+            std::printf("  width %u    : %6.3f\n", width, base / t);
     }
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

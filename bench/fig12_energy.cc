@@ -11,13 +11,17 @@
  */
 
 #include <cstdio>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.hh"
 
 using namespace pei;
+using peibench::RunHandle;
 using peibench::geomean;
-using peibench::run;
+using peibench::result;
+using peibench::submit;
 
 int
 main(int argc, char **argv)
@@ -31,8 +35,21 @@ main(int argc, char **argv)
 
     const std::vector<WorkloadKind> apps = {
         WorkloadKind::ATF, WorkloadKind::HG, WorkloadKind::SVM};
+    const InputSize sizes[] = {InputSize::Small, InputSize::Large};
+    const ExecMode modes[] = {ExecMode::IdealHost, ExecMode::HostOnly,
+                              ExecMode::PimOnly, ExecMode::LocalityAware};
 
-    for (InputSize size : {InputSize::Small, InputSize::Large}) {
+    std::map<std::pair<int, int>, std::vector<RunHandle>> cells;
+    for (InputSize size : sizes) {
+        for (WorkloadKind kind : apps) {
+            auto &cell = cells[{(int)size, (int)kind}];
+            for (ExecMode mode : modes)
+                cell.push_back(submit(kind, size, mode));
+        }
+    }
+    peibench::sweepRun();
+
+    for (InputSize size : sizes) {
         std::printf("\n--- (%s inputs; energy normalized to Ideal-Host "
                     "total) ---\n",
                     sizeName(size));
@@ -41,7 +58,10 @@ main(int argc, char **argv)
                     "pcu", "pmu", "total");
         std::vector<double> gm_host, gm_pim, gm_la;
         for (WorkloadKind kind : apps) {
-            const auto ideal = run(kind, size, ExecMode::IdealHost);
+            const auto &cell = cells[{(int)size, (int)kind}];
+            if (!peibench::allOk({cell[0], cell[1], cell[2], cell[3]}))
+                continue;
+            const auto &ideal = result(cell[0]);
             const double base = ideal.energy.total();
             const auto row = [&](const char *name,
                                  const peibench::RunResult &r) {
@@ -55,20 +75,18 @@ main(int argc, char **argv)
                 return e.total() / base;
             };
             row("ideal", ideal);
-            gm_host.push_back(
-                row("host-only", run(kind, size, ExecMode::HostOnly)));
-            gm_pim.push_back(
-                row("pim-only", run(kind, size, ExecMode::PimOnly)));
-            gm_la.push_back(row(
-                "loc-aware", run(kind, size, ExecMode::LocalityAware)));
+            gm_host.push_back(row("host-only", result(cell[1])));
+            gm_pim.push_back(row("pim-only", result(cell[2])));
+            gm_la.push_back(row("loc-aware", result(cell[3])));
         }
-        std::printf("GM    %-11s | %55s %7.3f\n", "host-only", "",
-                    geomean(gm_host));
-        std::printf("GM    %-11s | %55s %7.3f\n", "pim-only", "",
-                    geomean(gm_pim));
-        std::printf("GM    %-11s | %55s %7.3f\n", "loc-aware", "",
-                    geomean(gm_la));
+        if (!gm_host.empty()) {
+            std::printf("GM    %-11s | %55s %7.3f\n", "host-only", "",
+                        geomean(gm_host));
+            std::printf("GM    %-11s | %55s %7.3f\n", "pim-only", "",
+                        geomean(gm_pim));
+            std::printf("GM    %-11s | %55s %7.3f\n", "loc-aware", "",
+                        geomean(gm_la));
+        }
     }
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

@@ -1,13 +1,14 @@
 #include "harness.hh"
 
-#include <chrono>
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <vector>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "driver/sweep.hh"
 #include "runtime/report.hh"
-#include "runtime/runtime.hh"
+#include "workloads/input_cache.hh"
 
 namespace peibench
 {
@@ -15,9 +16,63 @@ namespace peibench
 namespace
 {
 
-std::string bench_name;             ///< set by benchInit
-std::string stats_json_path;        ///< "" = recording disabled
-std::vector<std::string> records;   ///< stats-v2 records of all runs
+std::string bench_name;        ///< set by benchInit
+std::string stats_json_path;   ///< "" = recording disabled
+SweepOptions sweep_opts;
+
+Sweep sweep;                        ///< submitted jobs
+std::vector<RunResult> results;     ///< per submission index
+SweepReport report;                 ///< filled by sweepRun
+
+/**
+ * Guards the flush state below.  Workers append to `completed` as
+ * they finish; the periodic flush reads only completed slots, so it
+ * never races a slot still being written by another worker.
+ */
+std::mutex flush_mutex;
+std::vector<std::size_t> completed;
+std::vector<std::string> failure_records;
+bool flush_registered = false;
+
+/** Write all completed records (submission order) + failures. */
+void
+flushLocked()
+{
+    if (stats_json_path.empty())
+        return;
+    std::vector<std::size_t> order = completed;
+    std::sort(order.begin(), order.end());
+    std::vector<std::string> records;
+    records.reserve(order.size());
+    for (std::size_t idx : order) {
+        if (!results[idx].stats_record.empty())
+            records.push_back(results[idx].stats_record);
+    }
+    writeRunRecords(stats_json_path, bench_name, records,
+                    failure_records);
+}
+
+void
+flushAtExit()
+{
+    std::lock_guard<std::mutex> lock(flush_mutex);
+    flushLocked();
+}
+
+RunHandle
+submitJob(const std::string &label, SimJob &&sim)
+{
+    return sweep.add(label, [sim = std::move(sim)](JobCtx &ctx) {
+        const std::size_t idx = ctx.index();
+        results[idx] = runSimJob(sim, ctx);
+        // Flush completed records every few jobs so an aborted sweep
+        // still leaves a usable (partial) stats-v2 document behind.
+        std::lock_guard<std::mutex> lock(flush_mutex);
+        completed.push_back(idx);
+        if (completed.size() % 16 == 0)
+            flushLocked();
+    });
+}
 
 } // namespace
 
@@ -26,90 +81,131 @@ benchInit(int argc, char **argv, const std::string &name)
 {
     bench_name = name;
     stats_json_path = statsJsonPathFromArgs(argc, argv);
+    sweep_opts = sweepOptionsFromArgs(argc, argv);
+    if (!flush_registered) {
+        std::atexit(flushAtExit);
+        flush_registered = true;
+    }
+}
+
+RunHandle
+submit(WorkloadKind kind, InputSize size, ExecMode mode,
+       const ConfigTweak &tweak)
+{
+    const std::string label = std::string(kindName(kind)) + "/" +
+                              sizeName(size) + "/" + execModeName(mode);
+    SimJob sim;
+    sim.label = label;
+    sim.factory = [kind, size] { return makeWorkload(kind, size); };
+    sim.mode = mode;
+    sim.tweak = tweak;
+    return submitJob(label, std::move(sim));
+}
+
+RunHandle
+submitWorkload(const std::function<std::unique_ptr<Workload>()> &factory,
+               const std::string &label, ExecMode mode,
+               const ConfigTweak &tweak, unsigned threads)
+{
+    SimJob sim;
+    sim.label = label;
+    sim.factory = factory;
+    sim.mode = mode;
+    sim.tweak = tweak;
+    sim.threads = threads;
+    return submitJob(label, std::move(sim));
+}
+
+RunHandle
+submitCustom(const std::string &label,
+             std::function<RunResult(JobCtx &)> fn)
+{
+    SimJob sim;
+    sim.label = label;
+    sim.custom = std::move(fn);
+    return submitJob(label, std::move(sim));
 }
 
 void
+sweepRun()
+{
+    if (sweep_opts.list) {
+        for (const std::string &label : sweep.labels())
+            std::printf("%s\n", label.c_str());
+        std::exit(0);
+    }
+
+    results.assign(sweep.size(), RunResult{});
+    report = sweep.run(sweep_opts);
+
+    std::lock_guard<std::mutex> lock(flush_mutex);
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const JobOutcome &o = report.outcomes[i];
+        if (o.status == JobStatus::Ok)
+            continue;
+        results[i].status = o.status;
+        results[i].error = o.error;
+        results[i].wall_seconds = o.wall_seconds;
+        if (o.status != JobStatus::Skipped) {
+            std::fprintf(stderr, "bench: %s: %s%s%s\n", o.label.c_str(),
+                         jobStatusName(o.status),
+                         o.error.empty() ? "" : ": ",
+                         o.error.c_str());
+            failure_records.push_back(failureRecordJson(o));
+        }
+    }
+    flushLocked();
+}
+
+const RunResult &
+result(RunHandle h)
+{
+    fatal_if(h >= results.size(),
+             "result(%zu) before sweepRun() or out of range", h);
+    return results[h];
+}
+
+bool
+allOk(std::initializer_list<RunHandle> hs)
+{
+    for (RunHandle h : hs) {
+        if (!result(h).ok())
+            return false;
+    }
+    return true;
+}
+
+int
 benchFinish()
 {
-    if (stats_json_path.empty())
-        return;
-    writeRunRecords(stats_json_path, bench_name, records);
-    std::printf("stats-v2: wrote %zu record(s) to %s\n", records.size(),
-                stats_json_path.c_str());
-}
-
-void
-recordRun(System &sys, double wall_seconds, const std::string &label)
-{
-    // Every run ends with a stats audit: a bench over inconsistent
-    // accounting is as meaningless as one over wrong results.
-    const auto violations = sys.stats().audit();
-    if (!violations.empty()) {
-        for (const auto &v : violations)
-            std::fprintf(stderr, "bench: stats audit FAILED: %s\n",
-                         v.c_str());
-        std::exit(1);
-    }
-    records.push_back(runRecordJson(sys, wall_seconds, label));
-}
-
-RunResult
-runWorkload(const std::function<std::unique_ptr<Workload>()> &factory,
-            ExecMode mode, const ConfigTweak &tweak, unsigned threads)
-{
-    SystemConfig cfg = SystemConfig::scaled(mode);
-    if (tweak)
-        tweak(cfg);
-    System sys(cfg);
-    Runtime rt(sys);
-
-    std::unique_ptr<Workload> w = factory();
-    w->setup(rt);
-    w->spawn(rt, threads ? threads : sys.numCores());
-
-    RunResult r;
-    const auto wall_start = std::chrono::steady_clock::now();
-    r.ticks = rt.run();
-    r.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - wall_start)
-                         .count();
-    r.events = sys.eventQueue().executedCount();
-
-    std::string msg;
-    r.valid = w->validate(sys, msg);
-    if (!r.valid) {
-        std::fprintf(stderr, "bench: %s validation FAILED: %s\n",
-                     w->name(), msg.c_str());
-        std::exit(1);
+    {
+        std::lock_guard<std::mutex> lock(flush_mutex);
+        flushLocked();
+        if (!stats_json_path.empty()) {
+            std::printf("stats-v2: wrote %zu record(s), %zu failure "
+                        "record(s) to %s\n",
+                        completed.size(), failure_records.size(),
+                        stats_json_path.c_str());
+        }
     }
 
-    recordRun(sys, r.wall_seconds,
-              std::string(w->name()) + "/" + execModeName(mode));
-
-    r.peis_host = sys.pmu().peisHost();
-    r.peis_mem = sys.pmu().peisMem();
-    r.offchip_req_bytes = sys.hmc().requestBytes();
-    r.offchip_res_bytes = sys.hmc().responseBytes();
-    r.dram_reads = 0;
-    r.dram_writes = 0;
-    for (unsigned v = 0; v < sys.hmc().totalVaults(); ++v) {
-        r.dram_reads += sys.hmc().vault(v).reads();
-        r.dram_writes += sys.hmc().vault(v).writes();
+    // Hit/miss totals are interleaving-independent (one miss per
+    // unique input, one access per setup), so stdout stays stable.
+    const InputCacheCounters cache = inputCacheCounters();
+    if (cache.hits + cache.misses) {
+        std::printf("input-cache: %llu hit(s), %llu miss(es), "
+                    "%llu cached input(s)\n",
+                    (unsigned long long)cache.hits,
+                    (unsigned long long)cache.misses,
+                    (unsigned long long)cache.entries);
     }
-    r.retired_ops = 0;
-    for (unsigned c = 0; c < sys.numCores(); ++c)
-        r.retired_ops += sys.core(c).retiredOps();
-    r.energy = computeEnergy(sys.stats());
-    r.stats = sys.stats().snapshot();
-    return r;
-}
 
-RunResult
-run(WorkloadKind kind, InputSize size, ExecMode mode,
-    const ConfigTweak &tweak)
-{
-    return runWorkload([kind, size] { return makeWorkload(kind, size); },
-                       mode, tweak);
+    std::fprintf(stderr,
+                 "sweep: %zu ok, %zu failed, %zu timed out, "
+                 "%zu skipped in %.1fs\n",
+                 report.ok, report.failed, report.timed_out,
+                 report.skipped, report.wall_seconds);
+    return report.clean() ? 0 : 1;
 }
 
 void

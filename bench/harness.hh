@@ -1,13 +1,15 @@
 /**
  * @file
- * Shared bench harness: runs one workload on one system
- * configuration and collects the metrics the paper's figures plot
- * (runtime, off-chip traffic split by direction, DRAM accesses,
- * PEI placement, throughput, energy).
+ * Shared bench harness, sweep edition: benches *submit* every
+ * simulation they need as a labelled job, run the whole set across a
+ * worker pool (`--jobs N`, per-job `--timeout-s`, `--filter`,
+ * `--list`), then render their tables from the collected results.
  *
  * Every bench binary regenerates one table or figure of the paper;
  * it prints the paper's claim next to the measured rows so the
- * comparison is auditable from the raw output.
+ * comparison is auditable from the raw output.  Rendering happens
+ * strictly after the sweep, from results keyed by submission index,
+ * so stdout is byte-identical regardless of worker count.
  */
 
 #ifndef PEISIM_BENCH_HARNESS_HH
@@ -15,11 +17,12 @@
 
 #include <cstdio>
 #include <functional>
-#include <map>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "energy/energy_model.hh"
+#include "driver/sim_job.hh"
 #include "workloads/workload.hh"
 
 namespace peibench
@@ -27,84 +30,55 @@ namespace peibench
 
 using namespace pei;
 
-/** Metrics of one simulation run. */
-struct RunResult
-{
-    Tick ticks = 0;
-    std::uint64_t peis_host = 0;
-    std::uint64_t peis_mem = 0;
-    std::uint64_t offchip_req_bytes = 0;
-    std::uint64_t offchip_res_bytes = 0;
-    std::uint64_t dram_reads = 0;
-    std::uint64_t dram_writes = 0;
-    std::uint64_t retired_ops = 0;
-    std::uint64_t events = 0;    ///< simulator events executed
-    double wall_seconds = 0.0;   ///< host wall-clock time of the run
-    bool valid = false;
-    EnergyBreakdown energy;
-    std::map<std::string, std::uint64_t> stats;
-
-    std::uint64_t offchipBytes() const
-    {
-        return offchip_req_bytes + offchip_res_bytes;
-    }
-
-    std::uint64_t dramAccesses() const { return dram_reads + dram_writes; }
-
-    double pimFraction() const
-    {
-        const double total =
-            static_cast<double>(peis_host) + static_cast<double>(peis_mem);
-        return total > 0 ? static_cast<double>(peis_mem) / total : 0.0;
-    }
-
-    /** Sum-of-IPCs proxy: retired ops per tick (×1000 for scale). */
-    double
-    opsPerKilotick() const
-    {
-        return ticks ? 1000.0 * static_cast<double>(retired_ops) /
-                           static_cast<double>(ticks)
-                     : 0.0;
-    }
-};
-
-/** Hook to tweak the SystemConfig before construction. */
-using ConfigTweak = std::function<void(SystemConfig &)>;
+/** Index of a submitted run; pass to result() after sweepRun(). */
+using RunHandle = std::size_t;
 
 /**
- * Parse harness-level flags (`--stats-json <path>`) and name the
- * bench.  Call first thing in main().
+ * Parse harness-level flags (`--stats-json`, `--jobs`, `--timeout-s`,
+ * `--filter`, `--list`, `--no-progress`), name the bench, and
+ * register the atexit stats flush.  Call first thing in main().
  */
 void benchInit(int argc, char **argv, const std::string &name);
 
 /**
- * Flush the stats-v2 records of every run since benchInit to the
- * `--stats-json` path (no-op when the flag was absent).  Call last
- * thing in main().
+ * Queue one Table 3 workload run, labelled "<kind>/<size>/<mode>".
  */
-void benchFinish();
+RunHandle submit(WorkloadKind kind, InputSize size, ExecMode mode,
+                 const ConfigTweak &tweak = nullptr);
+
+/** Queue a run of the workload returned by @p factory. */
+RunHandle submitWorkload(
+    const std::function<std::unique_ptr<Workload>()> &factory,
+    const std::string &label, ExecMode mode,
+    const ConfigTweak &tweak = nullptr, unsigned threads = 0);
 
 /**
- * Audit @p sys's stats (aborting the bench on any violation) and
- * append a stats-v2 run record labelled @p label.  runWorkload calls
- * this automatically; benches that drive Runtime themselves call it
- * once per simulation.
+ * Queue a fully custom job (e.g. two workloads sharing one System).
+ * @p fn runs inside a worker: it must guard its EventQueue with
+ * WatchGuard (for timeouts) and fill the result via collectRun.
  */
-void recordRun(System &sys, double wall_seconds, const std::string &label);
+RunHandle submitCustom(const std::string &label,
+                       std::function<RunResult(JobCtx &)> fn);
 
 /**
- * Run @p workload (freshly constructed by @p factory) under @p mode
- * on the scaled configuration.  Validates the output and aborts the
- * bench on mismatch — a bench over wrong results is meaningless.
+ * Execute every submitted job.  Under `--list`, print one label per
+ * line and exit(0) instead.  Call between submission and rendering.
  */
-RunResult runWorkload(const std::function<std::unique_ptr<Workload>()>
-                          &factory,
-                      ExecMode mode, const ConfigTweak &tweak = nullptr,
-                      unsigned threads = 0);
+void sweepRun();
 
-/** Shorthand for the Table 3 workloads. */
-RunResult run(WorkloadKind kind, InputSize size, ExecMode mode,
-              const ConfigTweak &tweak = nullptr);
+/** Result of a submitted run (valid only after sweepRun()). */
+const RunResult &result(RunHandle h);
+
+/** True when every listed run completed Ok — use to guard a row. */
+bool allOk(std::initializer_list<RunHandle> hs);
+
+/**
+ * Flush stats-v2 records + failure records to the `--stats-json`
+ * path, print the sweep summary, and return the process exit code
+ * (0 clean, 1 when any job failed or timed out).  Call last thing
+ * in main(): `return peibench::benchFinish();`.
+ */
+int benchFinish();
 
 /** Print the standard bench header. */
 void printHeader(const std::string &figure, const std::string &what,

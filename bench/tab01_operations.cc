@@ -34,6 +34,5 @@ main(int argc, char **argv)
     std::printf("\nAll operations obey the single-cache-block "
                 "restriction (64 B) and are executable on both\n"
                 "host-side and memory-side PCUs.\n");
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

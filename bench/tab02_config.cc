@@ -75,6 +75,5 @@ main(int argc, char **argv)
     show("scaled() — bench configuration (1/16 caches, 1 cube, "
          "bandwidth ratio preserved)",
          SystemConfig::scaled());
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

@@ -10,11 +10,31 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/harness.hh"
 
 using namespace pei;
-using peibench::run;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submitWorkload;
+
+namespace
+{
+
+RunHandle
+submitVariant(WorkloadKind kind, const char *variant,
+              const ConfigTweak &tweak)
+{
+    const std::string label = std::string(kindName(kind)) +
+                              "/medium/Locality-Aware/" + variant;
+    return submitWorkload(
+        [kind] { return makeWorkload(kind, InputSize::Medium); }, label,
+        ExecMode::LocalityAware, tweak);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -26,45 +46,56 @@ main(int argc, char **argv)
         "ideal directory +0.13%, ideal locality monitor +0.31% — "
         "both negligible");
 
-    std::printf("%-5s %12s %12s %12s %12s\n", "app", "default",
-                "ideal-dir", "ideal-mon", "ideal-both");
+    struct Row
+    {
+        WorkloadKind kind;
+        RunHandle base, ideal_dir, ideal_mon, ideal_both;
+    };
+    std::vector<Row> rows;
     for (WorkloadKind kind :
          {WorkloadKind::ATF, WorkloadKind::PR, WorkloadKind::HG}) {
-        const auto base =
-            run(kind, InputSize::Medium, ExecMode::LocalityAware);
-        const auto ideal_dir =
-            run(kind, InputSize::Medium, ExecMode::LocalityAware,
-                [](SystemConfig &cfg) {
-                    cfg.pim.directory_entries = 0; // exact, unlimited
-                    cfg.pim.directory_latency = 0;
-                });
-        const auto ideal_mon =
-            run(kind, InputSize::Medium, ExecMode::LocalityAware,
-                [](SystemConfig &cfg) {
-                    cfg.pim.monitor_latency = 0;
-                    cfg.pim.monitor_partial_tag_bits = 30; // exact tags
-                });
-        const auto ideal_both =
-            run(kind, InputSize::Medium, ExecMode::LocalityAware,
-                [](SystemConfig &cfg) {
-                    cfg.pim.directory_entries = 0;
-                    cfg.pim.directory_latency = 0;
-                    cfg.pim.monitor_latency = 0;
-                    cfg.pim.monitor_partial_tag_bits = 30;
-                });
+        rows.push_back(
+            {kind, submitVariant(kind, "default", nullptr),
+             submitVariant(kind, "ideal-dir",
+                           [](SystemConfig &cfg) {
+                               cfg.pim.directory_entries = 0;
+                               cfg.pim.directory_latency = 0;
+                           }),
+             submitVariant(kind, "ideal-mon",
+                           [](SystemConfig &cfg) {
+                               cfg.pim.monitor_latency = 0;
+                               cfg.pim.monitor_partial_tag_bits = 30;
+                           }),
+             submitVariant(kind, "ideal-both", [](SystemConfig &cfg) {
+                 cfg.pim.directory_entries = 0;
+                 cfg.pim.directory_latency = 0;
+                 cfg.pim.monitor_latency = 0;
+                 cfg.pim.monitor_partial_tag_bits = 30;
+             })});
+    }
+    peibench::sweepRun();
+
+    std::printf("%-5s %12s %12s %12s %12s\n", "app", "default",
+                "ideal-dir", "ideal-mon", "ideal-both");
+    for (const Row &row : rows) {
+        if (!peibench::allOk(
+                {row.base, row.ideal_dir, row.ideal_mon, row.ideal_both}))
+            continue;
+        const auto &base = result(row.base);
         const auto gain = [&](const peibench::RunResult &r) {
             return 100.0 * (static_cast<double>(base.ticks) /
                                 static_cast<double>(r.ticks) -
                             1.0);
         };
         std::printf("%-5s %12llu %+11.2f%% %+11.2f%% %+11.2f%%\n",
-                    kindName(kind),
+                    kindName(row.kind),
                     (unsigned long long)(base.ticks / 1000),
-                    gain(ideal_dir), gain(ideal_mon), gain(ideal_both));
+                    gain(result(row.ideal_dir)),
+                    gain(result(row.ideal_mon)),
+                    gain(result(row.ideal_both)));
     }
     std::printf("\n(default column in kiloticks; others show speedup "
                 "from idealization — paper reports\n+0.13%% and "
                 "+0.31%%, i.e. negligible.)\n");
-    peibench::benchFinish();
-    return 0;
+    return peibench::benchFinish();
 }

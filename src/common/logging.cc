@@ -2,11 +2,31 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace pei
 {
 namespace detail
 {
+
+namespace
+{
+
+/**
+ * Serializes the stderr sink.  Simulations may run concurrently on
+ * worker threads (src/driver), and while each fprintf call is atomic
+ * per POSIX, the message/terminate paths issue multiple stdio calls;
+ * the mutex keeps a message and its flush from interleaving with
+ * another thread's output.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 formatv(const char *fmt, ...)
@@ -30,8 +50,12 @@ void
 terminate(const char *kind, const std::string &msg, const char *file,
           int line, bool core_dump)
 {
-    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     if (core_dump)
         std::abort();
     std::exit(1);
@@ -40,6 +64,7 @@ terminate(const char *kind, const std::string &msg, const char *file,
 void
 message(const char *kind, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
 }
 

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Job model of the experiment-sweep driver (peisim_driver).
+ *
+ * A Job is one independent unit of work — typically one complete
+ * simulation (System construction, workload setup, event loop,
+ * validation) — executed on a host worker thread.  Jobs are isolated:
+ * a throwing job produces a structured JobOutcome and the sweep
+ * continues; a job that registers its EventQueue via JobCtx::watch
+ * can be cancelled cooperatively when it exceeds the sweep's
+ * per-job wall-clock timeout.
+ */
+
+#ifndef PEISIM_DRIVER_JOB_HH
+#define PEISIM_DRIVER_JOB_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,       ///< ran to completion
+    Failed,   ///< threw (validation/audit failure, exception)
+    TimedOut, ///< cancelled after exceeding the per-job timeout
+    Skipped,  ///< filtered out (--filter) or never submitted
+};
+
+const char *jobStatusName(JobStatus status);
+
+/**
+ * Per-job services the worker pool hands to the running job.
+ * Implemented by the pool; jobs only consume the interface.
+ */
+class JobCtx
+{
+  public:
+    virtual ~JobCtx() = default;
+
+    /** Submission index of this job (stable aggregation key). */
+    virtual std::size_t index() const = 0;
+
+    /**
+     * Register the event queue driving this job's simulation so the
+     * pool's watchdog can cancel it on timeout (via
+     * EventQueue::requestStop).  A job that never calls watch cannot
+     * be cancelled — it will run to completion even past its
+     * deadline.  Must be balanced by unwatch() before the queue is
+     * destroyed; prefer WatchGuard.
+     */
+    virtual void watch(EventQueue &eq) = 0;
+
+    /** Deregister the queue passed to watch(). */
+    virtual void unwatch() = 0;
+
+    /** True once the watchdog flagged this job as over deadline. */
+    virtual bool timedOut() const = 0;
+};
+
+/** RAII watch()/unwatch() pairing scoped to the simulation's life. */
+class WatchGuard
+{
+  public:
+    WatchGuard(JobCtx &ctx, EventQueue &eq) : ctx(ctx) { ctx.watch(eq); }
+    ~WatchGuard() { ctx.unwatch(); }
+
+    WatchGuard(const WatchGuard &) = delete;
+    WatchGuard &operator=(const WatchGuard &) = delete;
+
+  private:
+    JobCtx &ctx;
+};
+
+/**
+ * One schedulable unit.  A null fn marks the job as skipped: the
+ * pool emits a Skipped outcome without dispatching it (how --filter
+ * removes jobs while keeping submission indices stable).
+ */
+struct Job
+{
+    std::string label;               ///< unique, human-readable; filter key
+    std::function<void(JobCtx &)> fn; ///< throwing = job failure
+};
+
+/** Structured result of one job, reported in submission order. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Skipped;
+    std::string label;
+    std::string error;        ///< diagnostic for Failed/TimedOut
+    double wall_seconds = 0.0; ///< host wall-clock of the whole job
+};
+
+} // namespace pei
+
+#endif // PEISIM_DRIVER_JOB_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue feeding the worker
+ * pool.  A plain mutex + two condition variables: sweep dispatch is
+ * job-granular (each pop admits an entire simulation), so queue
+ * overhead is irrelevant and simplicity wins over lock-free designs.
+ *
+ * Lifecycle: producers push() until close(); consumers pop() until
+ * it returns false (queue closed *and* drained).  push() blocks
+ * while the queue is full, which backpressures producers that
+ * enumerate jobs faster than workers retire them.
+ */
+
+#ifndef PEISIM_DRIVER_JOB_QUEUE_HH
+#define PEISIM_DRIVER_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+template <typename T>
+class JobQueue
+{
+  public:
+    explicit JobQueue(std::size_t capacity) : capacity(capacity)
+    {
+        fatal_if(capacity == 0, "JobQueue needs a nonzero capacity");
+    }
+
+    /**
+     * Enqueue @p item, blocking while the queue is full.
+     * @return false if the queue was closed (item not enqueued).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        not_full.wait(lock,
+                      [this] { return items.size() < capacity || closed; });
+        if (closed)
+            return false;
+        items.push_back(std::move(item));
+        lock.unlock();
+        not_empty.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the queue is empty.
+     * @return false once the queue is closed and drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        not_empty.wait(lock, [this] { return !items.empty() || closed; });
+        if (items.empty())
+            return false;
+        out = std::move(items.front());
+        items.pop_front();
+        lock.unlock();
+        not_full.notify_one();
+        return true;
+    }
+
+    /** No more pushes; consumers drain the remainder, then pop()
+     *  returns false.  Idempotent. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            closed = true;
+        }
+        not_empty.notify_all();
+        not_full.notify_all();
+    }
+
+    /** Snapshot of the current depth (racy; for tests/telemetry). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return items.size();
+    }
+
+  private:
+    const std::size_t capacity;
+    mutable std::mutex mutex;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<T> items;
+    bool closed = false;
+};
+
+} // namespace pei
+
+#endif // PEISIM_DRIVER_JOB_QUEUE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Command-line options shared by every sweep-driving binary:
+ *
+ *   --jobs N        worker threads (default: hardware_concurrency)
+ *   --timeout-s S   per-job wall-clock timeout (default: none)
+ *   --filter SUBSTR run only jobs whose label contains SUBSTR
+ *   --list          print job labels and exit without running
+ *   --no-progress   suppress the live progress line on stderr
+ *
+ * Both "--flag value" and "--flag=value" spellings are accepted;
+ * flags the sweep does not own (e.g. --stats-json) are ignored.
+ */
+
+#ifndef PEISIM_DRIVER_OPTIONS_HH
+#define PEISIM_DRIVER_OPTIONS_HH
+
+#include <string>
+
+namespace pei
+{
+
+struct SweepOptions
+{
+    unsigned jobs = 0;      ///< 0 = hardware_concurrency
+    double timeout_s = 0.0; ///< 0 = no timeout
+    std::string filter;     ///< empty = run everything
+    bool list = false;
+    bool progress = true;
+};
+
+/** Parse the sweep flags out of @p argv (fatal on malformed value). */
+SweepOptions sweepOptionsFromArgs(int argc, char **argv);
+
+/** Worker count @p opts asks for (resolves 0 to the host's cores). */
+unsigned resolveWorkerCount(const SweepOptions &opts);
+
+} // namespace pei
+
+#endif // PEISIM_DRIVER_OPTIONS_HH

@@ -1,0 +1,62 @@
+#include "progress.hh"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace pei
+{
+
+ProgressPrinter::ProgressPrinter(bool enabled)
+    : enabled(enabled), is_tty(isatty(fileno(stderr)) != 0),
+      start(std::chrono::steady_clock::now())
+{}
+
+void
+ProgressPrinter::jobDone(const JobOutcome &outcome, std::size_t done,
+                         std::size_t total)
+{
+    if (outcome.status == JobStatus::Failed)
+        ++failures;
+    else if (outcome.status == JobStatus::TimedOut)
+        ++timeouts;
+    if (!enabled)
+        return;
+
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const double eta =
+        done ? elapsed / static_cast<double>(done) *
+                   static_cast<double>(total - done)
+             : 0.0;
+
+    if (is_tty) {
+        std::fprintf(stderr,
+                     "\r[%zu/%zu] fail:%zu timeout:%zu eta:%.0fs  "
+                     "%-40.40s",
+                     done, total, failures, timeouts, eta,
+                     outcome.label.c_str());
+        dirty_line = true;
+    } else {
+        std::fprintf(stderr,
+                     "[%zu/%zu] %-9s %s (%.2fs) fail:%zu timeout:%zu "
+                     "eta:%.0fs\n",
+                     done, total, jobStatusName(outcome.status),
+                     outcome.label.c_str(), outcome.wall_seconds,
+                     failures, timeouts, eta);
+    }
+    std::fflush(stderr);
+}
+
+void
+ProgressPrinter::finish()
+{
+    if (enabled && dirty_line) {
+        std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+        dirty_line = false;
+    }
+}
+
+} // namespace pei

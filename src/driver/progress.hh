@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Live sweep progress on stderr: done/total, failure counts, ETA.
+ *
+ * On a terminal the line rewrites in place (\r); otherwise (CI logs,
+ * redirects) each completion prints its own line so the log stays
+ * readable.  Progress goes to stderr only — stdout carries the
+ * rendered figure tables and must stay byte-identical across
+ * --jobs settings.
+ */
+
+#ifndef PEISIM_DRIVER_PROGRESS_HH
+#define PEISIM_DRIVER_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+
+#include "driver/job.hh"
+
+namespace pei
+{
+
+class ProgressPrinter
+{
+  public:
+    explicit ProgressPrinter(bool enabled);
+
+    /** Report one completed job (called serialized by the pool). */
+    void jobDone(const JobOutcome &outcome, std::size_t done,
+                 std::size_t total);
+
+    /** Terminate the in-place line (tty mode) once the sweep ends. */
+    void finish();
+
+  private:
+    const bool enabled;
+    const bool is_tty;
+    std::chrono::steady_clock::time_point start;
+    std::size_t failures = 0;
+    std::size_t timeouts = 0;
+    bool dirty_line = false;
+};
+
+} // namespace pei
+
+#endif // PEISIM_DRIVER_PROGRESS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * WorkerPool: executes a batch of independent jobs on N host
+ * threads with per-job wall-clock timeouts and failure isolation.
+ *
+ * Determinism contract: outcomes are keyed by submission index —
+ * outcomes[i] always describes jobs[i] — so aggregation order is
+ * independent of worker count and thread interleaving.  Only
+ * wall-clock fields vary between runs.
+ *
+ * Timeouts are cooperative: a watchdog thread flags jobs whose
+ * deadline passed and calls EventQueue::requestStop on the queue the
+ * job registered via JobCtx::watch; the simulation's run loop then
+ * throws SimulationStopped at the next event boundary.  A job that
+ * never registers a queue cannot be cancelled.
+ */
+
+#ifndef PEISIM_DRIVER_WORKER_POOL_HH
+#define PEISIM_DRIVER_WORKER_POOL_HH
+
+#include <functional>
+#include <vector>
+
+#include "driver/job.hh"
+
+namespace pei
+{
+
+/** Called after each job completes: (outcome, jobs done, jobs total).
+ *  Serialized by the pool; safe to print from. */
+using JobDoneFn =
+    std::function<void(const JobOutcome &, std::size_t, std::size_t)>;
+
+class WorkerPool
+{
+  public:
+    /**
+     * @param workers   concurrent worker threads (>= 1)
+     * @param timeout_s per-job wall-clock timeout; 0 = unlimited
+     */
+    WorkerPool(unsigned workers, double timeout_s);
+
+    /**
+     * Run every job in @p jobs (null-fn jobs are emitted as Skipped
+     * without dispatch) and return their outcomes in submission
+     * order.  @p on_done, if set, observes completions as they
+     * happen (completion order, not submission order).
+     */
+    std::vector<JobOutcome> run(const std::vector<Job> &jobs,
+                                const JobDoneFn &on_done = nullptr);
+
+  private:
+    const unsigned workers;
+    const double timeout_s;
+};
+
+} // namespace pei
+
+#endif // PEISIM_DRIVER_WORKER_POOL_HH

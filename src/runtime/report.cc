@@ -9,11 +9,8 @@
 namespace pei
 {
 
-namespace
-{
-
 std::string
-escape(const std::string &s)
+jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
@@ -29,13 +26,11 @@ escape(const std::string &s)
     return out;
 }
 
-} // namespace
-
 std::string
 systemConfigJson(const SystemConfig &cfg)
 {
     std::ostringstream os;
-    os << "{\"mode\":\"" << escape(execModeName(cfg.pim.mode)) << "\""
+    os << "{\"mode\":\"" << jsonEscape(execModeName(cfg.pim.mode)) << "\""
        << ",\"cores\":" << cfg.cores
        << ",\"phys_bytes\":" << cfg.phys_bytes
        << ",\"l1_bytes\":" << cfg.cache.l1_bytes
@@ -59,7 +54,7 @@ runRecordJson(System &sys, double wall_seconds, const std::string &label)
         wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
                            : 0.0;
     std::ostringstream os;
-    os << "{\"label\":\"" << escape(label) << "\""
+    os << "{\"label\":\"" << jsonEscape(label) << "\""
        << ",\"config\":" << systemConfigJson(sys.config())
        << ",\"sim_ticks\":" << sys.now()
        << ",\"events\":" << events
@@ -101,11 +96,33 @@ writeRunRecords(const std::string &path, const std::string &tool,
                 const std::vector<std::string> &records)
 {
     std::ostringstream os;
-    os << "{\"tool\":\"" << escape(tool) << "\",\"records\":[";
+    os << "{\"tool\":\"" << jsonEscape(tool) << "\",\"records\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
         if (i)
             os << ",";
         os << records[i];
+    }
+    os << "]}";
+    writeStatsJson(path, os.str());
+}
+
+void
+writeRunRecords(const std::string &path, const std::string &tool,
+                const std::vector<std::string> &records,
+                const std::vector<std::string> &failures)
+{
+    std::ostringstream os;
+    os << "{\"tool\":\"" << jsonEscape(tool) << "\",\"records\":[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i)
+            os << ",";
+        os << records[i];
+    }
+    os << "],\"failures\":[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        if (i)
+            os << ",";
+        os << failures[i];
     }
     os << "]}";
     writeStatsJson(path, os.str());

@@ -17,6 +17,9 @@
 namespace pei
 {
 
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
 /** The "config" object of a run record. */
 std::string systemConfigJson(const SystemConfig &cfg);
 
@@ -43,6 +46,15 @@ void writeStatsJson(const std::string &path, const std::string &json);
  */
 void writeRunRecords(const std::string &path, const std::string &tool,
                      const std::vector<std::string> &records);
+
+/**
+ * As above, but additionally emits a "failures" array (records built
+ * with failureRecordJson) so aborted or timed-out sweep jobs remain
+ * visible in the exported document.
+ */
+void writeRunRecords(const std::string &path, const std::string &tool,
+                     const std::vector<std::string> &records,
+                     const std::vector<std::string> &failures);
 
 } // namespace pei
 

@@ -70,7 +70,9 @@ class Runtime
     /**
      * Drive the event loop until every spawned task finishes, then
      * settle remaining events.  Panics on deadlock (empty queue with
-     * unfinished tasks).
+     * unfinished tasks).  Throws SimulationStopped if another host
+     * thread calls eventQueue().requestStop() (sweep-driver timeout
+     * cancellation); the System must be discarded afterwards.
      * @return simulated ticks elapsed during this run.
      */
     Tick
@@ -79,6 +81,8 @@ class Runtime
         const Tick start = sys.now();
         EventQueue &eq = sys.eventQueue();
         while (!allDone()) {
+            if (eq.stopRequested())
+                throw SimulationStopped();
             panic_if(!eq.runOne(),
                      "simulation deadlock: %zu unfinished task(s) with an "
                      "empty event queue",

@@ -11,8 +11,10 @@
 #define PEISIM_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "common/logging.hh"
@@ -23,6 +25,21 @@ namespace pei
 
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
+
+/**
+ * Thrown by the simulation-driving loops (Runtime::run) when a
+ * cross-thread stop request arrives via EventQueue::requestStop —
+ * e.g. the sweep driver cancelling a job that exceeded its
+ * wall-clock timeout.  The simulation is abandoned at an event
+ * boundary; its System must be discarded, not resumed.
+ */
+class SimulationStopped : public std::runtime_error
+{
+  public:
+    SimulationStopped()
+        : std::runtime_error("simulation stopped by external request")
+    {}
+};
 
 /**
  * The event queue that drives a simulation.  One instance per
@@ -88,14 +105,16 @@ class EventQueue
     }
 
     /**
-     * Run until the queue drains or time would pass @p limit.
+     * Run until the queue drains, time would pass @p limit, or a
+     * stop is requested (checked at every event boundary).
      * @return number of events executed.
      */
     std::uint64_t
     run(Tick limit = max_tick)
     {
         std::uint64_t n = 0;
-        while (!events.empty() && events.front().when <= limit) {
+        while (!events.empty() && events.front().when <= limit &&
+               !stopRequested()) {
             runOne();
             ++n;
         }
@@ -104,6 +123,32 @@ class EventQueue
 
     /** Total events executed since construction. */
     std::uint64_t executedCount() const { return executed_count; }
+
+    /**
+     * Ask the loop driving this queue to stop at the next event
+     * boundary.  The only EventQueue operation that is safe to call
+     * from a different host thread than the one running the
+     * simulation; everything else is single-threaded.
+     */
+    void
+    requestStop()
+    {
+        stop_requested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once requestStop was called (sticky until cleared). */
+    bool
+    stopRequested() const
+    {
+        return stop_requested_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the queue after a handled stop (tests, reuse). */
+    void
+    clearStopRequest()
+    {
+        stop_requested_.store(false, std::memory_order_relaxed);
+    }
 
   private:
     struct Event
@@ -130,6 +175,7 @@ class EventQueue
     Tick cur_tick = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t executed_count = 0;
+    std::atomic<bool> stop_requested_{false};
 };
 
 } // namespace pei

@@ -5,12 +5,43 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "pim/pei_op.hh"
+#include "workloads/input_cache.hh"
 
 namespace pei
 {
 
+/**
+ * Memoized host-side hash-join input: the bucket image is stored
+ * with chain links as bucket *indices* (chain_next, index+1 or 0) so
+ * the cached data is independent of where the table lands in each
+ * run's simulated address space; setup() resolves them to addresses.
+ */
+struct HashJoinInput
+{
+    std::uint64_t num_buckets = 0;
+    std::vector<HashBucket> buckets;
+    std::vector<std::uint64_t> chain_next;
+    std::vector<std::uint64_t> probe_keys;
+    std::uint64_t expected_matches = 0;
+};
+
 namespace
 {
+
+/** Random u32 input arrays shared by HG and RP. */
+const std::vector<std::uint32_t> &
+cachedRandomU32(std::uint64_t count, std::uint64_t seed)
+{
+    const std::string key = "u32/n=" + std::to_string(count) +
+                            "/seed=" + std::to_string(seed);
+    return cachedInput<std::vector<std::uint32_t>>(key, [count, seed] {
+        Rng rng(seed);
+        std::vector<std::uint32_t> vals(count);
+        for (auto &v : vals)
+            v = static_cast<std::uint32_t>(rng.next());
+        return vals;
+    });
+}
 
 /** SplitMix64 finalizer used as the (shared) bucket hash. */
 std::uint64_t
@@ -35,55 +66,49 @@ nextPow2(std::uint64_t v)
 
 // ----------------------------------------------------------------- HJ
 
-void
-HashJoinWorkload::setup(Runtime &rt)
+namespace
 {
+
+HashJoinInput
+genHashJoinInput(std::uint64_t build_rows, std::uint64_t probe_rows,
+                 std::uint64_t seed)
+{
+    HashJoinInput in;
     Rng rng(seed ^ 0x41);
 
-    build_keys.resize(build_rows);
+    std::vector<std::uint64_t> build_keys(build_rows);
     for (auto &k : build_keys)
         k = rng.next() | 1; // nonzero keys
 
     // Bucket-chained table, ~4 keys per primary bucket.
-    num_buckets = nextPow2(std::max<std::uint64_t>(build_rows / 4, 1));
-    std::vector<HashBucket> buckets(num_buckets);
-    std::vector<std::uint64_t> chain_next(num_buckets, 0); // index+1 or 0
+    in.num_buckets = nextPow2(std::max<std::uint64_t>(build_rows / 4, 1));
+    in.buckets.resize(in.num_buckets);
+    in.chain_next.assign(in.num_buckets, 0); // index+1 or 0
 
     auto bucket_of = [&](std::uint64_t key) {
-        return hashKey(key) & (num_buckets - 1);
+        return hashKey(key) & (in.num_buckets - 1);
     };
 
     for (const auto key : build_keys) {
         std::uint64_t b = bucket_of(key);
         while (true) {
-            if (buckets[b].count < HashBucket::max_keys) {
-                buckets[b].keys[buckets[b].count++] = key;
+            if (in.buckets[b].count < HashBucket::max_keys) {
+                in.buckets[b].keys[in.buckets[b].count++] = key;
                 break;
             }
-            if (chain_next[b] == 0) {
-                buckets.push_back(HashBucket{});
-                chain_next.push_back(0);
-                chain_next[b] = buckets.size(); // index+1
+            if (in.chain_next[b] == 0) {
+                in.buckets.push_back(HashBucket{});
+                in.chain_next.push_back(0);
+                in.chain_next[b] = in.buckets.size(); // index+1
             }
-            b = chain_next[b] - 1;
+            b = in.chain_next[b] - 1;
         }
-    }
-
-    table_addr = rt.alloc(buckets.size() * sizeof(HashBucket), block_size);
-    VirtualMemory &vm = rt.system().memory();
-    for (std::size_t i = 0; i < buckets.size(); ++i) {
-        buckets[i].next =
-            chain_next[i] ? table_addr + (chain_next[i] - 1) * block_size
-                          : 0;
-        vm.write(table_addr + i * block_size, buckets[i]);
     }
 
     // Probe relation: ~50% hits.
     std::unordered_set<std::uint64_t> build_set(build_keys.begin(),
                                                 build_keys.end());
-    probe_keys.resize(probe_rows);
-    probe_addr = rt.allocArray<std::uint64_t>(probe_rows);
-    expected_matches = 0;
+    in.probe_keys.resize(probe_rows);
     for (std::uint64_t i = 0; i < probe_rows; ++i) {
         std::uint64_t key;
         if (rng.chance(0.5)) {
@@ -93,10 +118,43 @@ HashJoinWorkload::setup(Runtime &rt)
                 key = rng.next() | 1;
             } while (build_set.count(key));
         }
-        probe_keys[i] = key;
-        expected_matches += build_set.count(key);
-        vm.write<std::uint64_t>(probe_addr + 8 * i, key);
+        in.probe_keys[i] = key;
+        in.expected_matches += build_set.count(key);
     }
+    return in;
+}
+
+} // namespace
+
+void
+HashJoinWorkload::setup(Runtime &rt)
+{
+    const std::string key = "hj/build=" + std::to_string(build_rows) +
+                            "/probe=" + std::to_string(probe_rows) +
+                            "/seed=" + std::to_string(seed);
+    input = &cachedInput<HashJoinInput>(key, [this] {
+        return genHashJoinInput(build_rows, probe_rows, seed);
+    });
+    num_buckets = input->num_buckets;
+
+    table_addr =
+        rt.alloc(input->buckets.size() * sizeof(HashBucket), block_size);
+    VirtualMemory &vm = rt.system().memory();
+    for (std::size_t i = 0; i < input->buckets.size(); ++i) {
+        // Resolve the cached index links against this run's table
+        // base before copying the bucket into simulated memory.
+        HashBucket bucket = input->buckets[i];
+        bucket.next = input->chain_next[i]
+                          ? table_addr +
+                                (input->chain_next[i] - 1) * block_size
+                          : 0;
+        vm.write(table_addr + i * block_size, bucket);
+    }
+
+    probe_addr = rt.allocArray<std::uint64_t>(probe_rows);
+    expected_matches = input->expected_matches;
+    for (std::uint64_t i = 0; i < probe_rows; ++i)
+        vm.write<std::uint64_t>(probe_addr + 8 * i, input->probe_keys[i]);
 }
 
 Task
@@ -166,10 +224,9 @@ HistogramWorkload::setup(Runtime &rt)
     fatal_if(num_ints % 16 != 0, "HG input must be a whole block count");
     input_addr = rt.allocArray<std::uint32_t>(num_ints);
     VirtualMemory &vm = rt.system().memory();
-    Rng rng(seed ^ 0x47);
+    const auto &vals = cachedRandomU32(num_ints, seed ^ 0x47);
     for (std::uint64_t i = 0; i < num_ints; ++i)
-        vm.write<std::uint32_t>(input_addr + 4 * i,
-                                static_cast<std::uint32_t>(rng.next()));
+        vm.write<std::uint32_t>(input_addr + 4 * i, vals[i]);
 }
 
 Task
@@ -238,10 +295,9 @@ RadixPartitionWorkload::setup(Runtime &rt)
     input_addr = rt.allocArray<std::uint32_t>(rows);
     output_addr = rt.allocArray<std::uint32_t>(rows);
     VirtualMemory &vm = rt.system().memory();
-    Rng rng(seed ^ 0x52);
+    const auto &vals = cachedRandomU32(rows, seed ^ 0x52);
     for (std::uint64_t i = 0; i < rows; ++i)
-        vm.write<std::uint32_t>(input_addr + 4 * i,
-                                static_cast<std::uint32_t>(rng.next()));
+        vm.write<std::uint32_t>(input_addr + 4 * i, vals[i]);
 }
 
 Task

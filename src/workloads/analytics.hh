@@ -16,6 +16,8 @@
 namespace pei
 {
 
+struct HashJoinInput; ///< memoized build-table + probe-key image
+
 /**
  * Hash Join: build a bucket-chained hash table from relation R, then
  * probe it with every key of relation S using the HashProbe PEI.
@@ -52,8 +54,7 @@ class HashJoinWorkload : public Workload
     std::uint64_t num_buckets = 0;
     Addr table_addr = invalid_addr;    ///< num_buckets HashBucket blocks
     Addr probe_addr = invalid_addr;    ///< u64 probe keys
-    std::vector<std::uint64_t> build_keys;
-    std::vector<std::uint64_t> probe_keys;
+    const HashJoinInput *input = nullptr; ///< cached, shared read-only
     std::uint64_t match_count = 0;
     std::uint64_t expected_matches = 0;
     std::uint64_t peis_issued = 0;

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "workloads/input_cache.hh"
 
 namespace pei
 {
@@ -13,9 +14,18 @@ namespace pei
 void
 GraphWorkloadBase::setupGraph(Runtime &rt)
 {
-    EdgeList el = genRmat(vertices, edges, seed);
-    edge_list = undirected ? symmetrize(el) : std::move(el);
-    graph = std::make_unique<CsrGraph>(rt, edge_list);
+    // The R-MAT generation is the dominant host-side setup cost and
+    // is identical for every exec-mode run of one (v, e, seed) input;
+    // memoize it and share the edge list read-only across runs.
+    const std::string key = "rmat/v=" + std::to_string(vertices) +
+                            "/e=" + std::to_string(edges) +
+                            "/seed=" + std::to_string(seed) +
+                            "/sym=" + (undirected ? "1" : "0");
+    edge_list = &cachedInput<EdgeList>(key, [this] {
+        EdgeList el = genRmat(vertices, edges, seed);
+        return undirected ? symmetrize(el) : el;
+    });
+    graph = std::make_unique<CsrGraph>(rt, *edge_list);
 }
 
 namespace
@@ -560,7 +570,7 @@ WccWorkload::validate(System &sys, std::string &msg)
             }
             return v;
         };
-    for (const auto &[s, d] : edge_list.edges) {
+    for (const auto &[s, d] : edge_list->edges) {
         const auto rs = find(s), rd = find(d);
         if (rs != rd)
             parent[std::max(rs, rd)] = std::min(rs, rd);

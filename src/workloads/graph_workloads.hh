@@ -52,7 +52,7 @@ class GraphWorkloadBase : public Workload
     std::uint64_t seed;
     bool undirected;
 
-    EdgeList edge_list;
+    const EdgeList *edge_list = nullptr; ///< cached, shared read-only
     std::unique_ptr<CsrGraph> graph;
     std::unique_ptr<Barrier> barrier;
     std::uint64_t peis_issued = 0;

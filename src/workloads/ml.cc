@@ -5,9 +5,25 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "pim/pei_op.hh"
+#include "workloads/input_cache.hh"
 
 namespace pei
 {
+
+/** Memoized SC input: point matrix and candidate centers, generated
+ *  from one RNG stream and shared read-only across runs. */
+struct ScInput
+{
+    std::vector<float> points;
+    std::vector<float> centers;
+};
+
+/** Memoized SVM input: instance matrix and hyperplane weights. */
+struct SvmInput
+{
+    std::vector<double> x;
+    std::vector<double> w;
+};
 
 // ----------------------------------------------------------------- SC
 
@@ -18,17 +34,24 @@ StreamclusterWorkload::setup(Runtime &rt)
              "SC dims must be a multiple of %u", chunk_floats);
     points_addr = rt.allocArray<float>(num_points * dims);
     VirtualMemory &vm = rt.system().memory();
-    Rng rng(seed ^ 0x5C);
 
-    points_ref.resize(num_points * dims);
-    for (auto &p : points_ref)
-        p = static_cast<float>(rng.uniform() * 10.0 - 5.0);
-    for (std::uint64_t i = 0; i < points_ref.size(); ++i)
-        vm.write<float>(points_addr + 4 * i, points_ref[i]);
-
-    centers.resize(std::size_t{num_centers} * dims);
-    for (auto &c : centers)
-        c = static_cast<float>(rng.uniform() * 10.0 - 5.0);
+    const std::string key = "sc/p=" + std::to_string(num_points) +
+                            "/d=" + std::to_string(dims) +
+                            "/c=" + std::to_string(num_centers) +
+                            "/seed=" + std::to_string(seed);
+    input = &cachedInput<ScInput>(key, [this] {
+        Rng rng(seed ^ 0x5C);
+        ScInput in;
+        in.points.resize(num_points * dims);
+        for (auto &p : in.points)
+            p = static_cast<float>(rng.uniform() * 10.0 - 5.0);
+        in.centers.resize(std::size_t{num_centers} * dims);
+        for (auto &c : in.centers)
+            c = static_cast<float>(rng.uniform() * 10.0 - 5.0);
+        return in;
+    });
+    for (std::uint64_t i = 0; i < input->points.size(); ++i)
+        vm.write<float>(points_addr + 4 * i, input->points[i]);
 
     assignment.assign(num_points, 0);
     best_dist.assign(num_points, 0.0f);
@@ -62,8 +85,8 @@ StreamclusterWorkload::kernel(Ctx &ctx, unsigned tid, unsigned n)
                         points_addr +
                         4 * (p * dims + std::uint64_t{ch} * chunk_floats);
                     const float *center_chunk =
-                        &centers[std::size_t{c} * dims +
-                                 std::size_t{ch} * chunk_floats];
+                        &input->centers[std::size_t{c} * dims +
+                                        std::size_t{ch} * chunk_floats];
                     co_await ctx.peiAsyncCb(
                         PeiOpcode::EuclidDist, chunk_addr, center_chunk,
                         chunk_floats * 4,
@@ -108,8 +131,9 @@ StreamclusterWorkload::validate(System &sys, std::string &msg)
         for (unsigned c = 0; c < num_centers; ++c) {
             float d = 0.0f;
             for (unsigned k = 0; k < dims; ++k) {
-                const float diff = points_ref[p * dims + k] -
-                                   centers[std::size_t{c} * dims + k];
+                const float diff =
+                    input->points[p * dims + k] -
+                    input->centers[std::size_t{c} * dims + k];
                 d += diff * diff;
             }
             if (c == 0 || d < ref_best) {
@@ -142,17 +166,23 @@ SvmWorkload::setup(Runtime &rt)
              "SVM dims must be a multiple of %u", chunk_doubles);
     x_addr = rt.allocArray<double>(num_instances * dims);
     VirtualMemory &vm = rt.system().memory();
-    Rng rng(seed ^ 0x5D);
 
-    x_ref.resize(num_instances * dims);
-    for (auto &v : x_ref)
-        v = rng.uniform() * 2.0 - 1.0;
-    for (std::uint64_t i = 0; i < x_ref.size(); ++i)
-        vm.write<double>(x_addr + 8 * i, x_ref[i]);
-
-    w.resize(dims);
-    for (auto &v : w)
-        v = rng.uniform() * 2.0 - 1.0;
+    const std::string key = "svm/n=" + std::to_string(num_instances) +
+                            "/d=" + std::to_string(dims) +
+                            "/seed=" + std::to_string(seed);
+    input = &cachedInput<SvmInput>(key, [this] {
+        Rng rng(seed ^ 0x5D);
+        SvmInput in;
+        in.x.resize(num_instances * dims);
+        for (auto &v : in.x)
+            v = rng.uniform() * 2.0 - 1.0;
+        in.w.resize(dims);
+        for (auto &v : in.w)
+            v = rng.uniform() * 2.0 - 1.0;
+        return in;
+    });
+    for (std::uint64_t i = 0; i < input->x.size(); ++i)
+        vm.write<double>(x_addr + 8 * i, input->x[i]);
 
     dots.assign(num_instances, 0.0);
 }
@@ -174,7 +204,7 @@ SvmWorkload::kernel(Ctx &ctx, unsigned tid, unsigned n)
                     x_addr +
                     8 * (i * dims + std::uint64_t{ch} * chunk_doubles);
                 const double *w_chunk =
-                    &w[std::size_t{ch} * chunk_doubles];
+                    &input->w[std::size_t{ch} * chunk_doubles];
                 co_await ctx.peiAsyncCb(
                     PeiOpcode::DotProduct, chunk_addr, w_chunk,
                     chunk_doubles * 8,
@@ -209,7 +239,7 @@ SvmWorkload::validate(System &sys, std::string &msg)
     for (std::uint64_t i = 0; i < num_instances; ++i) {
         double ref = 0.0;
         for (unsigned k = 0; k < dims; ++k)
-            ref += w[k] * x_ref[i * dims + k];
+            ref += input->w[k] * input->x[i * dims + k];
         if (std::fabs(dots[i] - ref) > 1e-9 + 1e-6 * std::fabs(ref)) {
             msg = "SVM: dot product of instance " + std::to_string(i) +
                   " is " + std::to_string(dots[i]) + ", expected " +

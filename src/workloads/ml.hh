@@ -22,6 +22,9 @@
 namespace pei
 {
 
+struct ScInput;  ///< memoized point matrix + centers
+struct SvmInput; ///< memoized instance matrix + hyperplane
+
 /** Streamcluster distance kernel: assign points to nearest center. */
 class StreamclusterWorkload : public Workload
 {
@@ -47,9 +50,8 @@ class StreamclusterWorkload : public Workload
     unsigned num_centers;
     std::uint64_t seed;
 
-    Addr points_addr = invalid_addr; ///< num_points x dims floats
-    std::vector<float> centers;      ///< host-resident centers
-    std::vector<float> points_ref;   ///< host copy for validation
+    Addr points_addr = invalid_addr;  ///< num_points x dims floats
+    const ScInput *input = nullptr;   ///< cached, shared read-only
     std::vector<unsigned> assignment;
     std::vector<float> best_dist;
     std::uint64_t peis_issued = 0;
@@ -78,10 +80,9 @@ class SvmWorkload : public Workload
     unsigned dims;
     std::uint64_t seed;
 
-    Addr x_addr = invalid_addr;   ///< num_instances x dims doubles
-    std::vector<double> w;        ///< host-resident hyperplane
-    std::vector<double> x_ref;    ///< host copy for validation
-    std::vector<double> dots;     ///< per-instance results
+    Addr x_addr = invalid_addr;      ///< num_instances x dims doubles
+    const SvmInput *input = nullptr; ///< cached, shared read-only
+    std::vector<double> dots;        ///< per-instance results
     std::uint64_t peis_issued = 0;
 };
 

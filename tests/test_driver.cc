@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests of the experiment-sweep driver: JobQueue semantics,
+ * WorkerPool submission-order aggregation, per-job failure isolation
+ * and timeouts, input-cache sharing, and the headline guarantee —
+ * stats-v2 records are byte-identical (modulo wall-clock fields)
+ * regardless of how many workers execute the sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <regex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "driver/job_queue.hh"
+#include "driver/sim_job.hh"
+#include "driver/sweep.hh"
+#include "driver/worker_pool.hh"
+#include "runtime/runtime.hh"
+#include "workloads/input_cache.hh"
+
+namespace pei
+{
+namespace
+{
+
+TEST(JobQueue, FifoSingleThread)
+{
+    JobQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    q.close();
+    int v = -1;
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(v));       // closed and drained
+    EXPECT_FALSE(q.push(99));     // closed
+}
+
+TEST(JobQueue, PushBlocksWhenFull)
+{
+    JobQueue<int> q(2);
+    EXPECT_TRUE(q.push(0));
+    EXPECT_TRUE(q.push(1));
+
+    std::atomic<bool> third_pushed{false};
+    std::thread producer([&] {
+        q.push(2);  // blocks until a slot frees up
+        third_pushed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(third_pushed.load());
+
+    int v = -1;
+    EXPECT_TRUE(q.pop(v));
+    producer.join();
+    EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(JobQueue, ManyProducersManyConsumers)
+{
+    constexpr int per_producer = 200;
+    JobQueue<int> q(4);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < per_producer; ++i)
+                q.push(p * per_producer + i);
+        });
+    }
+    std::mutex seen_mutex;
+    std::set<int> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            int v;
+            while (q.pop(v)) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                EXPECT_TRUE(seen.insert(v).second);  // delivered once
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(seen.size(), 3u * per_producer);
+}
+
+TEST(WorkerPool, OutcomesInSubmissionOrder)
+{
+    // Earlier jobs sleep longer, so with several workers they finish
+    // out of order — outcomes must still come back by submission.
+    std::vector<Job> jobs;
+    for (int i = 0; i < 8; ++i) {
+        jobs.push_back(Job{
+            "job" + std::to_string(i), [i](JobCtx &ctx) {
+                EXPECT_EQ(ctx.index(), static_cast<std::size_t>(i));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5 * (8 - i)));
+            }});
+    }
+    WorkerPool pool(4, 0.0);
+    const auto outcomes = pool.run(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_EQ(outcomes[i].label, "job" + std::to_string(i));
+        EXPECT_EQ(outcomes[i].status, JobStatus::Ok);
+    }
+}
+
+TEST(WorkerPool, FailureIsolation)
+{
+    std::vector<Job> jobs;
+    jobs.push_back(Job{"good0", [](JobCtx &) {}});
+    jobs.push_back(Job{"bad", [](JobCtx &) {
+                           throw std::runtime_error("boom");
+                       }});
+    jobs.push_back(Job{"good1", [](JobCtx &) {}});
+    jobs.push_back(Job{"skipped", nullptr});
+
+    WorkerPool pool(2, 0.0);
+    const auto outcomes = pool.run(jobs);
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Failed);
+    EXPECT_NE(outcomes[1].error.find("boom"), std::string::npos);
+    EXPECT_EQ(outcomes[2].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[3].status, JobStatus::Skipped);
+}
+
+SystemConfig
+tinyConfig(ExecMode mode)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    cfg.cores = 4;
+    cfg.phys_bytes = 64ULL << 20;
+    cfg.cache.l1_bytes = 4 << 10;
+    cfg.cache.l2_bytes = 16 << 10;
+    cfg.cache.l3_bytes = 256 << 10;
+    cfg.hmc.num_cubes = 1;
+    cfg.hmc.vaults_per_cube = 4;
+    return cfg;
+}
+
+TEST(WorkerPool, TimeoutCancelsEndlessSimulation)
+{
+    std::vector<Job> jobs;
+    jobs.push_back(Job{"endless", [](JobCtx &ctx) {
+        System sys(tinyConfig(ExecMode::HostOnly));
+        Runtime rt(sys);
+        rt.spawn(0, [](Ctx &c) -> Task {
+            for (;;)
+                co_await c.compute(1000);
+        });
+        WatchGuard watch(ctx, sys.eventQueue());
+        rt.run();  // never returns normally; watchdog stops it
+    }});
+    jobs.push_back(Job{"finite", [](JobCtx &) {}});
+
+    const auto t0 = std::chrono::steady_clock::now();
+    WorkerPool pool(2, 0.2);
+    const auto outcomes = pool.run(jobs);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::TimedOut);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Ok);
+    EXPECT_LT(elapsed, 30.0);  // far below "endless"
+}
+
+TEST(Sweep, FilterSkipsNonMatchingJobs)
+{
+    Sweep sweep;
+    std::atomic<int> ran{0};
+    sweep.add("ATF/small", [&](JobCtx &) { ++ran; });
+    sweep.add("PR/small", [&](JobCtx &) { ++ran; });
+    sweep.add("PR/large", [&](JobCtx &) { ++ran; });
+
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.progress = false;
+    opts.filter = "PR/";
+    const SweepReport report = sweep.run(opts);
+    EXPECT_EQ(ran.load(), 2);
+    EXPECT_EQ(report.ok, 2u);
+    EXPECT_EQ(report.skipped, 1u);
+    EXPECT_EQ(report.outcomes[0].status, JobStatus::Skipped);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(InputCache, SharesOneInstancePerKey)
+{
+    clearInputCache();
+    std::atomic<int> builds{0};
+    const auto build = [&builds] {
+        ++builds;
+        return std::vector<int>{1, 2, 3};
+    };
+    const std::vector<int> *first = nullptr;
+    std::vector<std::thread> threads;
+    std::mutex first_mutex;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            const std::vector<int> &v =
+                cachedInput<std::vector<int>>("test/shared", build);
+            std::lock_guard<std::mutex> lock(first_mutex);
+            if (!first)
+                first = &v;
+            EXPECT_EQ(first, &v);  // same instance for every caller
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(builds.load(), 1);
+    const InputCacheCounters c = inputCacheCounters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 3u);
+    EXPECT_EQ(c.entries, 1u);
+    clearInputCache();
+}
+
+/** Strip the host-timing fields that legitimately vary run to run. */
+std::string
+stripWallClock(const std::string &record)
+{
+    static const std::regex wall(
+        "\"(wall_seconds|events_per_sec)\":[-+0-9.eE]+");
+    return std::regex_replace(record, wall, "\"$1\":X");
+}
+
+TEST(Sweep, RecordsIdenticalAcrossWorkerCounts)
+{
+    const auto runSweep = [](unsigned workers) {
+        clearInputCache();
+        std::vector<SimJob> sims;
+        for (ExecMode mode :
+             {ExecMode::HostOnly, ExecMode::PimOnly,
+              ExecMode::LocalityAware}) {
+            SimJob sim;
+            sim.label = std::string("PR/small/") + execModeName(mode);
+            sim.factory = [] {
+                return makeWorkload(WorkloadKind::PR, InputSize::Small);
+            };
+            sim.mode = mode;
+            sim.tweak = [](SystemConfig &cfg) {
+                cfg.cores = 4;
+                cfg.hmc.vaults_per_cube = 4;
+            };
+            sim.threads = 4;
+            sims.push_back(std::move(sim));
+        }
+
+        std::vector<RunResult> results(sims.size());
+        Sweep sweep;
+        for (std::size_t i = 0; i < sims.size(); ++i) {
+            sweep.add(sims[i].label, [&, i](JobCtx &ctx) {
+                results[i] = runSimJob(sims[i], ctx);
+            });
+        }
+        SweepOptions opts;
+        opts.jobs = workers;
+        opts.progress = false;
+        const SweepReport report = sweep.run(opts);
+        EXPECT_TRUE(report.clean());
+
+        std::vector<std::string> records;
+        for (const RunResult &r : results) {
+            EXPECT_TRUE(r.ok());
+            records.push_back(stripWallClock(r.stats_record));
+        }
+        return records;
+    };
+
+    const auto serial = runSweep(1);
+    const auto parallel = runSweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "record " << i;
+}
+
+} // namespace
+} // namespace pei
