@@ -1,6 +1,8 @@
 #include "hierarchy.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -385,7 +387,6 @@ void
 CacheHierarchy::backInvalidate(Addr paddr, Callback cb)
 {
     const Addr block = paddr >> block_shift;
-    ++stat_back_inval;
 
     if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
         it->second.waiters.push_back(
@@ -394,6 +395,18 @@ CacheHierarchy::backInvalidate(Addr paddr, Callback cb)
             });
         return;
     }
+
+    // Counted only when performed (an MSHR collision above retries
+    // without double-counting), so one writer-PEI offload is exactly
+    // one back-invalidation — the conservation audit depends on it.
+    ++back_inval_calls;
+    if (back_inval_calls == inject_skip_back_inval) {
+        // Fault injection: report completion without cleaning any
+        // copy (checker self-test).
+        eq.schedule(cfg.l3_latency, std::move(cb));
+        return;
+    }
+    ++stat_back_inval;
 
     // Inclusion guarantees private copies exist only under an L3
     // line, whose sharer vector bounds the invalidation fan-out.
@@ -417,7 +430,6 @@ void
 CacheHierarchy::backWriteback(Addr paddr, Callback cb)
 {
     const Addr block = paddr >> block_shift;
-    ++stat_back_wb;
 
     if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
         it->second.waiters.push_back(
@@ -426,6 +438,10 @@ CacheHierarchy::backWriteback(Addr paddr, Callback cb)
             });
         return;
     }
+
+    // Counted only when performed, mirroring backInvalidate: one
+    // reader-PEI offload is exactly one back-writeback.
+    ++stat_back_wb;
 
     CacheLine *line = l3.find(block);
     bool mem_write = false;
@@ -512,34 +528,51 @@ CacheHierarchy::drainL3Stalled()
     }
 }
 
-void
-CacheHierarchy::checkInvariants()
+std::string
+CacheHierarchy::invariantViolation()
 {
+    std::string violation;
+    auto record = [&violation](std::string v) {
+        if (violation.empty())
+            violation = std::move(v);
+    };
+    auto blockStr = [](Addr block) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(block));
+        return std::string(buf);
+    };
+
     for (unsigned c = 0; c < privs.size(); ++c) {
         auto &pc = privs[c];
+        const std::string who = "core " + std::to_string(c);
 
         // L1 ⊆ L2 with compatible states.
         pc.l1.forEachValid([&](const CacheLine &l1line) {
-            CacheLine *l2line = pc.l2.find(l1line.block);
-            panic_if(!l2line, "core %u: L1 block 0x%llx not in L2", c,
-                     static_cast<unsigned long long>(l1line.block));
+            if (!pc.l2.find(l1line.block)) {
+                record(who + ": L1 block " + blockStr(l1line.block) +
+                       " not in L2");
+            }
         });
 
         // L2 ⊆ L3 with directory agreement.
         pc.l2.forEachValid([&](const CacheLine &l2line) {
             CacheLine *l3line = l3.find(l2line.block);
-            panic_if(!l3line, "core %u: L2 block 0x%llx not in L3", c,
-                     static_cast<unsigned long long>(l2line.block));
-            panic_if(!(l3line->sharers & (1u << c)),
-                     "core %u not in sharer set of 0x%llx", c,
-                     static_cast<unsigned long long>(l2line.block));
-            if (l2line.state == MesiState::Exclusive ||
-                l2line.state == MesiState::Modified) {
-                panic_if(l3line->owner != static_cast<std::int8_t>(c),
-                         "core %u holds %s on 0x%llx but L3 owner is %d",
-                         c, mesiName(l2line.state),
-                         static_cast<unsigned long long>(l2line.block),
-                         static_cast<int>(l3line->owner));
+            if (!l3line) {
+                record(who + ": L2 block " + blockStr(l2line.block) +
+                       " not in L3");
+                return;
+            }
+            if (!(l3line->sharers & (1u << c))) {
+                record(who + " not in sharer set of " +
+                       blockStr(l2line.block));
+            }
+            if ((l2line.state == MesiState::Exclusive ||
+                 l2line.state == MesiState::Modified) &&
+                l3line->owner != static_cast<std::int8_t>(c)) {
+                record(who + " holds " + mesiName(l2line.state) + " on " +
+                       blockStr(l2line.block) + " but L3 owner is " +
+                       std::to_string(static_cast<int>(l3line->owner)));
             }
         });
     }
@@ -549,11 +582,21 @@ CacheHierarchy::checkInvariants()
         for (unsigned c = 0; c < privs.size(); ++c) {
             if (!(l3line.sharers & (1u << c)))
                 continue;
-            panic_if(!privs[c].l2.find(l3line.block),
-                     "stale sharer bit: core %u on block 0x%llx", c,
-                     static_cast<unsigned long long>(l3line.block));
+            if (!privs[c].l2.find(l3line.block)) {
+                record("stale sharer bit: core " + std::to_string(c) +
+                       " on block " + blockStr(l3line.block));
+            }
         }
     });
+
+    return violation;
+}
+
+void
+CacheHierarchy::checkInvariants()
+{
+    const std::string violation = invariantViolation();
+    panic_if(!violation.empty(), "%s", violation.c_str());
 }
 
 } // namespace pei

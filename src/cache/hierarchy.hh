@@ -107,6 +107,26 @@ class CacheHierarchy
     /** Verify inclusion and directory invariants; panics on breach. */
     void checkInvariants();
 
+    /**
+     * Non-panicking variant of checkInvariants() for mid-simulation
+     * probes (simfuzz): returns a description of the first violated
+     * inclusion/directory invariant, or an empty string when clean.
+     */
+    std::string invariantViolation();
+
+    /**
+     * Fault injection for checker self-validation (simfuzz
+     * --inject-bug skip-back-inval): the @p nth back-invalidation
+     * (1-based) completes without cleaning any cached copy and
+     * without counting, so a correct checker must flag the run via
+     * the PMU's offload/back-invalidation conservation audit or the
+     * stale-copy probe.  0 disables.
+     */
+    void injectSkipBackInvalidate(std::uint64_t nth)
+    {
+        inject_skip_back_inval = nth;
+    }
+
     unsigned numCores() const { return static_cast<unsigned>(privs.size()); }
 
   private:
@@ -170,6 +190,9 @@ class CacheHierarchy
     std::deque<Callback> l3_stalled;
 
     std::function<void(Addr)> l3_listener;
+
+    std::uint64_t inject_skip_back_inval = 0; ///< 0 = no injection
+    std::uint64_t back_inval_calls = 0; ///< performed back-invalidations
 
     Counter stat_l1_hits;
     Counter stat_l1_misses;

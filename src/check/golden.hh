@@ -1,0 +1,59 @@
+/**
+ * @file
+ * simfuzz sequential golden model: executes a generated program
+ * architecturally (no timing, no caches, no PMU) against a flat byte
+ * image of the footprint.
+ *
+ * The model deliberately reimplements the PEI semantics from the
+ * ISA definition (paper Table 1) instead of calling
+ * executePeiFunctional — sharing the simulator's implementation
+ * would blind the differential check to functional bugs.
+ *
+ * Threads run one after another in thread order.  The generator
+ * guarantees all cross-thread-visible effects commute (see
+ * program.hh), so this one serialization is observably equal to
+ * every legal interleaving, and both the final image and every
+ * reader-PEI output can be compared byte-for-byte against any
+ * simulated execution mode.
+ */
+
+#ifndef PEISIM_CHECK_GOLDEN_HH
+#define PEISIM_CHECK_GOLDEN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "check/program.hh"
+
+namespace pei
+{
+namespace fuzz
+{
+
+/** Output operand of one PEI (writers record size 0). */
+struct PeiOutput
+{
+    std::array<std::uint8_t, 64> bytes{};
+    unsigned size = 0;
+};
+
+struct GoldenResult
+{
+    /** Final bytes of the whole footprint. */
+    std::vector<std::uint8_t> image;
+
+    /**
+     * Reader-PEI outputs, indexed [included-thread][k] where k is
+     * the k-th OpKind::Pei op of that thread's (truncated) stream.
+     */
+    std::vector<std::vector<PeiOutput>> outputs;
+};
+
+/** Run @p p to completion on a copy of its initial image. */
+GoldenResult runGolden(const FuzzProgram &p);
+
+} // namespace fuzz
+} // namespace pei
+
+#endif // PEISIM_CHECK_GOLDEN_HH

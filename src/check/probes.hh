@@ -1,0 +1,63 @@
+/**
+ * @file
+ * simfuzz mid-simulation invariant probes.
+ *
+ * installProbes() hooks a checker onto the System's event queue
+ * (EventQueue::setBoundaryProbe) that re-verifies, every N executed
+ * events, properties that must hold at *every* event boundary — not
+ * just at quiesce:
+ *
+ *  - MESI inclusion and directory agreement (CacheHierarchy);
+ *  - PIM-directory holder bookkeeping (writer exclusivity, grant
+ *    accounting, no waiters behind a free entry);
+ *  - operand-buffer occupancy within capacity for every host-side
+ *    and memory-side PCU;
+ *  - off-chip link flit/byte conservation: both directions are
+ *    monotonically non-decreasing and every flit carries between one
+ *    byte and the 16 B flit size;
+ *  - offload coherence windows: while a memory-side *writer* PEI is
+ *    between back-invalidation and retirement no cache level may
+ *    hold its target block, and while a memory-side *reader* PEI is
+ *    in that window no private cache may hold the block Modified.
+ *
+ * A violated probe throws FuzzViolation out of EventQueue::runOne,
+ * abandoning the case at the exact boundary where the invariant
+ * first broke.
+ */
+
+#ifndef PEISIM_CHECK_PROBES_HH
+#define PEISIM_CHECK_PROBES_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/system.hh"
+
+namespace pei
+{
+namespace fuzz
+{
+
+/** A divergence or invariant violation detected by the checker. */
+class FuzzViolation : public std::runtime_error
+{
+  public:
+    explicit FuzzViolation(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Install the probe set on @p sys, firing every @p every executed
+ * events.  Call once per System, before driving its event loop.
+ */
+void installProbes(System &sys, std::uint64_t every);
+
+/** Run the probe checks once, immediately (also used at quiesce). */
+void checkProbesNow(System &sys);
+
+} // namespace fuzz
+} // namespace pei
+
+#endif // PEISIM_CHECK_PROBES_HH

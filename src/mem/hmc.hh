@@ -169,6 +169,10 @@ class HmcController
     /** Raw per-direction off-chip byte counters. */
     std::uint64_t requestBytes() const { return req_link.bytes(); }
     std::uint64_t responseBytes() const { return res_link.bytes(); }
+
+    /** Raw per-direction off-chip flit counters (probe hooks). */
+    std::uint64_t requestFlits() const { return req_link.flits(); }
+    std::uint64_t responseFlits() const { return res_link.flits(); }
     std::uint64_t offChipBytes() const
     {
         return req_link.bytes() + res_link.bytes();

@@ -132,6 +132,10 @@ PimDirectory::drainEntry(Entry &e)
 void
 PimDirectory::release(Addr block, bool writer)
 {
+    ++release_calls;
+    if (release_calls == inject_skip_release)
+        return; // fault injection: leak this lock (checker self-test)
+
     ++stat_releases;
     Entry &e = entryFor(block);
     auto holder =
@@ -171,6 +175,43 @@ PimDirectory::writerDone()
         for (auto &w : waiters)
             eq.schedule(0, std::move(w));
     }
+}
+
+std::string
+PimDirectory::probeViolation() const
+{
+    auto check = [](const Entry &e, const std::string &which) {
+        if (e.active_writer && e.active_readers > 0) {
+            return which + ": writer and " +
+                   std::to_string(e.active_readers) +
+                   " reader(s) hold the entry together";
+        }
+        const std::size_t holders =
+            e.active_readers + (e.active_writer ? 1u : 0u);
+        if (e.holder_blocks.size() != holders) {
+            return which + ": " + std::to_string(e.holder_blocks.size()) +
+                   " holder block(s) recorded for " +
+                   std::to_string(holders) + " grant(s)";
+        }
+        if (!e.queue.empty() && holders == 0) {
+            return which + ": " + std::to_string(e.queue.size()) +
+                   " waiter(s) queued behind a free entry";
+        }
+        return std::string();
+    };
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::string v = check(entries[i], "entry " + std::to_string(i));
+        if (!v.empty())
+            return v;
+    }
+    for (const auto &[block, e] : ideal_map) {
+        std::string v = check(
+            e, "ideal entry for block " + std::to_string(block));
+        if (!v.empty())
+            return v;
+    }
+    return std::string();
 }
 
 void

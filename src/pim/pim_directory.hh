@@ -91,6 +91,27 @@ class PimDirectory
         return stat_false_conflicts.value();
     }
 
+    /**
+     * Fault injection for checker self-validation (simfuzz
+     * --inject-bug skip-unlock): silently discard the @p nth call to
+     * release() (1-based).  The holder keeps the entry forever, so a
+     * correct checker must flag the run via the acquire/release
+     * audit, the leaked-writer audit, or a deadlock.  0 disables.
+     */
+    void injectSkipRelease(std::uint64_t nth)
+    {
+        inject_skip_release = nth;
+    }
+
+    /**
+     * Structural self-check for mid-simulation probes: verifies that
+     * every entry's holder bookkeeping is consistent (a writer never
+     * coexists with readers, holder_blocks matches the grant counts,
+     * and nobody waits behind a free entry).  Returns an empty string
+     * when consistent, else a description of the first violation.
+     */
+    std::string probeViolation() const;
+
   private:
     struct Waiter
     {
@@ -124,6 +145,9 @@ class PimDirectory
 
     std::uint64_t writers_in_flight = 0;
     std::deque<Callback> pfence_waiters;
+
+    std::uint64_t inject_skip_release = 0; ///< 0 = no fault injection
+    std::uint64_t release_calls = 0;       ///< release() invocations
 
     Counter stat_acquires;
     Counter stat_releases;

@@ -1,5 +1,7 @@
 #include "pmu.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pei
@@ -64,8 +66,11 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
     stats.add("pmu.peis_issued", &stat_peis_issued);
     stats.add("pmu.peis_host", &stat_peis_host);
     stats.add("pmu.peis_mem", &stat_peis_mem);
+    stats.add("pmu.peis_mem_writers", &stat_peis_mem_writers);
+    stats.add("pmu.peis_mem_readers", &stat_peis_mem_readers);
     stats.add("pmu.balanced_to_host", &stat_balanced_to_host);
     stats.add("pmu.balanced_to_mem", &stat_balanced_to_mem);
+    stats.add("pmu.saturation_to_mem", &stat_saturation_to_mem);
     stats.add("pmu.pei_latency_ticks", &hist_pei_latency);
     stats.add("pmu.pei_latency_host_ticks", &hist_pei_latency_host);
     stats.add("pmu.pei_latency_mem_ticks", &hist_pei_latency_mem);
@@ -81,6 +86,32 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
             return "issued=" + std::to_string(stat_peis_issued.value()) +
                    " != host+mem=" + std::to_string(retired) +
                    " (PEI lost in the pipeline?)";
+        });
+    // Offload/coherence conservation: every memory-side writer PEI
+    // performs exactly one back-invalidation and every memory-side
+    // reader PEI exactly one back-writeback (Fig. 5 step ③).  The
+    // cache counters count performed operations once, so a skipped
+    // cleaning step (e.g. simfuzz's --inject-bug skip-back-inval)
+    // breaks the balance.
+    stats.addInvariant(
+        "pmu.peis_mem_writers == cache.back_invalidations",
+        [this, &stats] {
+            const std::uint64_t w = stat_peis_mem_writers.value();
+            const std::uint64_t bi = stats.get("cache.back_invalidations");
+            if (w == bi)
+                return std::string();
+            return "mem-side writer PEIs=" + std::to_string(w) +
+                   " != back-invalidations=" + std::to_string(bi);
+        });
+    stats.addInvariant(
+        "pmu.peis_mem_readers == cache.back_writebacks",
+        [this, &stats] {
+            const std::uint64_t r = stat_peis_mem_readers.value();
+            const std::uint64_t bw = stats.get("cache.back_writebacks");
+            if (r == bw)
+                return std::string();
+            return "mem-side reader PEIs=" + std::to_string(r) +
+                   " != back-writebacks=" + std::to_string(bw);
         });
 }
 
@@ -185,6 +216,19 @@ Pmu::decide(unsigned core, PimPacket pkt, DoneFn done)
         const Addr block = pkt.paddr >> block_shift;
         const bool high_locality = mon->lookupForPei(block);
         if (high_locality) {
+            // §7.4 saturation override: a saturated off-chip link
+            // can make memory-side execution cheaper even for a
+            // high-locality PEI.  The EMA decays with a 10 µs
+            // half-life, so the override releases once pressure
+            // subsides.
+            if (cfg.balanced_dispatch &&
+                cfg.balanced_saturation_flits > 0.0 &&
+                std::max(hmc.emaRequestFlits(), hmc.emaResponseFlits()) >=
+                    cfg.balanced_saturation_flits) {
+                ++stat_saturation_to_mem;
+                memExecute(core, std::move(pkt), std::move(done));
+                return;
+            }
             hostExecute(core, std::move(pkt), std::move(done));
             return;
         }
@@ -283,15 +327,25 @@ Pmu::hostExecuteBuffered(unsigned core, PimPacket pkt, DoneFn done)
 void
 Pmu::memExecute(unsigned core, PimPacket pkt, DoneFn done)
 {
+    const Addr block = pkt.paddr >> block_shift;
     if (cfg.mode == ExecMode::LocalityAware)
-        mon->onPimIssue(pkt.paddr >> block_shift);
+        mon->onPimIssue(block);
+    if (pkt.is_writer)
+        ++stat_peis_mem_writers;
+    else
+        ++stat_peis_mem_readers;
 
     // Fig. 5 step ③: clean the on-chip copies of the target block
     // (back-invalidation for writers, back-writeback for readers);
     // input operands move to the PMU concurrently.
     const Addr paddr = pkt.paddr;
-    auto offload = [this, core, pkt = std::move(pkt),
+    auto offload = [this, core, block, pkt = std::move(pkt),
                     done = std::move(done)]() mutable {
+        // The block is clean off-chip from here until retirement;
+        // probes verify no (writer) / no Modified (reader) cached
+        // copy exists in this window.
+        (pkt.is_writer ? mem_writer_blocks : mem_reader_blocks)
+            .push_back(block);
         hmc.sendPim(std::move(pkt),
                     [this, core, done = std::move(done)](
                         PimPacket completed) mutable {
@@ -316,6 +370,13 @@ Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
     } else {
         ++stat_peis_mem;
         hist_pei_latency_mem.record(latency);
+        auto &inflight =
+            pkt.is_writer ? mem_writer_blocks : mem_reader_blocks;
+        const auto it = std::find(inflight.begin(), inflight.end(),
+                                  pkt.paddr >> block_shift);
+        panic_if(it == inflight.end(),
+                 "mem-side PEI retired without an in-flight record");
+        inflight.erase(it);
     }
 
     // Releasing the directory entry also retires the writer that

@@ -64,6 +64,18 @@ struct PimConfig
     unsigned monitor_ways = 0;
 
     bool balanced_dispatch = false; ///< §7.4 extension
+
+    /**
+     * Saturation half of balanced dispatch (§7.4): when the busier
+     * off-chip link's EMA flit count reaches this threshold, even
+     * monitor-*hit* PEIs are offloaded to memory until the pressure
+     * decays (the EMA halves every 10 µs).  0 disables the override,
+     * leaving the monitor's host decision absolute on hits (the
+     * default, so baseline figures are unchanged).  Only consulted
+     * when balanced_dispatch is on.
+     */
+    double balanced_saturation_flits = 0.0;
+
     Ticks pmu_xbar_latency = 8;     ///< core→PMU crossbar hop
 
     PcuConfig pcu;
@@ -99,8 +111,45 @@ class Pmu
     LocalityMonitor &monitor() { return *mon; }
     Pcu &hostPcu(unsigned core) { return *host_pcus[core]; }
 
+    /** Memory-side PCU buffer of @p vault (probe/test hook). */
+    Pcu &memPcu(unsigned vault) { return mem_pcus[vault]->pcu(); }
+    unsigned numHostPcus() const
+    {
+        return static_cast<unsigned>(host_pcus.size());
+    }
+    unsigned numMemPcus() const
+    {
+        return static_cast<unsigned>(mem_pcus.size());
+    }
+
     std::uint64_t peisHost() const { return stat_peis_host.value(); }
     std::uint64_t peisMem() const { return stat_peis_mem.value(); }
+
+    /** PEIs the saturation override diverted memory-side (§7.4). */
+    std::uint64_t saturationToMem() const
+    {
+        return stat_saturation_to_mem.value();
+    }
+
+    /**
+     * Target blocks of memory-side *writer* PEIs between the end of
+     * their back-invalidation and their retirement: no cache level
+     * may hold a copy of these (probe hook; one entry per PEI).
+     */
+    const std::vector<Addr> &memWriterBlocks() const
+    {
+        return mem_writer_blocks;
+    }
+
+    /**
+     * Target blocks of memory-side *reader* PEIs between the end of
+     * their back-writeback and their retirement: copies may stay
+     * cached but none may be Modified (probe hook).
+     */
+    const std::vector<Addr> &memReaderBlocks() const
+    {
+        return mem_reader_blocks;
+    }
 
   private:
     void startPei(unsigned core, PimPacket pkt, DoneFn done);
@@ -126,11 +175,18 @@ class Pmu
     std::vector<std::unique_ptr<Pcu>> host_pcus;
     std::vector<std::unique_ptr<MemSidePcu>> mem_pcus;
 
+    /** In-flight memory-side PEI targets (see memWriterBlocks()). */
+    std::vector<Addr> mem_writer_blocks;
+    std::vector<Addr> mem_reader_blocks;
+
     Counter stat_peis_issued;
     Counter stat_peis_host;
     Counter stat_peis_mem;
+    Counter stat_peis_mem_writers; ///< writer PEIs sent memory-side
+    Counter stat_peis_mem_readers; ///< reader PEIs sent memory-side
     Counter stat_balanced_to_host;
     Counter stat_balanced_to_mem;
+    Counter stat_saturation_to_mem; ///< monitor hits overridden (§7.4)
 
     /** End-to-end PEI latency (issue → retire), all PEIs. */
     Histogram hist_pei_latency;

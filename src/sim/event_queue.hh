@@ -101,7 +101,24 @@ class EventQueue
         cur_tick = ev.when;
         ev.fn();
         ++executed_count;
+        if (probe && executed_count % probe_every == 0)
+            probe();
         return true;
+    }
+
+    /**
+     * Install @p fn as the event-boundary probe: it runs after every
+     * @p every-th executed event, at a point where all component
+     * state is settled (no event is mid-flight).  Invariant checkers
+     * (simfuzz) hook here; a throwing probe propagates out of
+     * runOne()/run(), abandoning the simulation at the boundary.
+     * Pass a null fn to uninstall.
+     */
+    void
+    setBoundaryProbe(EventFn fn, std::uint64_t every = 1)
+    {
+        probe = std::move(fn);
+        probe_every = every ? every : 1;
     }
 
     /**
@@ -176,6 +193,8 @@ class EventQueue
     std::uint64_t next_seq = 0;
     std::uint64_t executed_count = 0;
     std::atomic<bool> stop_requested_{false};
+    EventFn probe;                 ///< event-boundary invariant probe
+    std::uint64_t probe_every = 1; ///< probe cadence in events
 };
 
 } // namespace pei

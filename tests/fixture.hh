@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared per-test System configurations.
+ *
+ * Every test binary (unit, integration, fuzz) that constructs a
+ * System should start from one of these instead of growing its own
+ * copy, so "the machine the tests run on" is defined exactly once:
+ *
+ *  - tinyConfig():     smallest full stack (4 KB L1 / 16 KB L2);
+ *                      cache-pressure and smoke tests.
+ *  - smallConfig():    4 cores, 256 KB L3; system property tests.
+ *  - workloadConfig(): 8 cores, 512 KB L3 (small enough to exercise
+ *                      both locality regimes); §5 workload runs.
+ */
+
+#ifndef PEISIM_TESTS_FIXTURE_HH
+#define PEISIM_TESTS_FIXTURE_HH
+
+#include <string>
+
+#include "runtime/system.hh"
+
+namespace pei
+{
+namespace fixture
+{
+
+/** Smallest full-stack machine: tiny private caches force misses. */
+inline SystemConfig
+tinyConfig(ExecMode mode = ExecMode::LocalityAware)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    cfg.cores = 4;
+    cfg.phys_bytes = 64ULL << 20;
+    cfg.cache.l1_bytes = 4 << 10;
+    cfg.cache.l2_bytes = 16 << 10;
+    cfg.cache.l3_bytes = 256 << 10;
+    cfg.hmc.num_cubes = 1;
+    cfg.hmc.vaults_per_cube = 4;
+    return cfg;
+}
+
+/** 4-core machine with default private caches; property tests. */
+inline SystemConfig
+smallConfig(ExecMode mode = ExecMode::LocalityAware)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    cfg.cores = 4;
+    cfg.phys_bytes = 64ULL << 20;
+    cfg.cache.l3_bytes = 256 << 10;
+    cfg.hmc.vaults_per_cube = 4;
+    return cfg;
+}
+
+/** 8-core machine for §5 workload validation runs. */
+inline SystemConfig
+workloadConfig(ExecMode mode = ExecMode::LocalityAware)
+{
+    SystemConfig cfg = SystemConfig::scaled(mode);
+    cfg.cores = 8;
+    cfg.phys_bytes = 256ULL << 20;
+    cfg.cache.l3_bytes = 512 << 10; // small L3: exercises both regimes
+    cfg.hmc.vaults_per_cube = 8;
+    return cfg;
+}
+
+/** Identifier-safe mode name for INSTANTIATE_TEST_SUITE_P naming. */
+inline std::string
+execModeTestName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::HostOnly:
+        return "HostOnly";
+      case ExecMode::PimOnly:
+        return "PimOnly";
+      case ExecMode::IdealHost:
+        return "IdealHost";
+      case ExecMode::LocalityAware:
+        return "LocalityAware";
+    }
+    return "Unknown";
+}
+
+} // namespace fixture
+} // namespace pei
+
+#endif // PEISIM_TESTS_FIXTURE_HH

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "fixture.hh"
 #include "runtime/runtime.hh"
 #include "runtime/sync.hh"
 
@@ -16,19 +17,7 @@ namespace pei
 namespace
 {
 
-SystemConfig
-tinyConfig(ExecMode mode)
-{
-    SystemConfig cfg = SystemConfig::scaled(mode);
-    cfg.cores = 4;
-    cfg.phys_bytes = 64ULL << 20;
-    cfg.cache.l1_bytes = 4 << 10;
-    cfg.cache.l2_bytes = 16 << 10;
-    cfg.cache.l3_bytes = 256 << 10;
-    cfg.hmc.num_cubes = 1;
-    cfg.hmc.vaults_per_cube = 4;
-    return cfg;
-}
+using fixture::tinyConfig;
 
 class RuntimeSmoke : public ::testing::TestWithParam<ExecMode>
 {
@@ -136,13 +125,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ExecMode::HostOnly, ExecMode::PimOnly,
                       ExecMode::IdealHost, ExecMode::LocalityAware),
     [](const ::testing::TestParamInfo<ExecMode> &info) {
-        switch (info.param) {
-          case ExecMode::HostOnly: return "HostOnly";
-          case ExecMode::PimOnly: return "PimOnly";
-          case ExecMode::IdealHost: return "IdealHost";
-          case ExecMode::LocalityAware: return "LocalityAware";
-        }
-        return "Unknown";
+        return fixture::execModeTestName(info.param);
     });
 
 TEST(RuntimeSmoke2, CacheInvariantsHoldAfterMixedTraffic)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "fixture.hh"
 #include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
@@ -17,16 +18,7 @@ namespace pei
 namespace
 {
 
-SystemConfig
-smallConfig(ExecMode mode)
-{
-    SystemConfig cfg = SystemConfig::scaled(mode);
-    cfg.cores = 4;
-    cfg.phys_bytes = 64ULL << 20;
-    cfg.cache.l3_bytes = 256 << 10;
-    cfg.hmc.vaults_per_cube = 4;
-    return cfg;
-}
+using fixture::smallConfig;
 
 /** Runs a fixed random PEI/load/store mix; returns final tick. */
 Tick

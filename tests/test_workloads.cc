@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fixture.hh"
 #include "workloads/analytics.hh"
 #include "workloads/graph_workloads.hh"
 #include "workloads/ml.hh"
@@ -20,16 +21,7 @@ namespace pei
 namespace
 {
 
-SystemConfig
-testConfig(ExecMode mode)
-{
-    SystemConfig cfg = SystemConfig::scaled(mode);
-    cfg.cores = 8;
-    cfg.phys_bytes = 256ULL << 20;
-    cfg.cache.l3_bytes = 512 << 10; // small L3: exercises both regimes
-    cfg.hmc.vaults_per_cube = 8;
-    return cfg;
-}
+using fixture::workloadConfig;
 
 struct Case
 {
@@ -41,10 +33,7 @@ std::string
 caseName(const ::testing::TestParamInfo<Case> &info)
 {
     return std::string(kindName(info.param.kind)) + "_" +
-           (info.param.mode == ExecMode::HostOnly       ? "HostOnly"
-            : info.param.mode == ExecMode::PimOnly      ? "PimOnly"
-            : info.param.mode == ExecMode::IdealHost    ? "IdealHost"
-                                                        : "LocalityAware");
+           fixture::execModeTestName(info.param.mode);
 }
 
 class WorkloadValidation : public ::testing::TestWithParam<Case>
@@ -54,7 +43,7 @@ class WorkloadValidation : public ::testing::TestWithParam<Case>
 TEST_P(WorkloadValidation, ProducesReferenceOutput)
 {
     const Case c = GetParam();
-    System sys(testConfig(c.mode));
+    System sys(workloadConfig(c.mode));
     Runtime rt(sys);
 
     // Mini inputs: full algorithmic structure, fast to simulate.
@@ -166,7 +155,7 @@ TEST(GraphGen, UniformIsNotSkewed)
 
 TEST(GraphGen, CsrMatchesEdgeList)
 {
-    SystemConfig cfg = testConfig(ExecMode::LocalityAware);
+    SystemConfig cfg = workloadConfig(ExecMode::LocalityAware);
     System sys(cfg);
     Runtime rt(sys);
     EdgeList el = genRmat(512, 4096, 3);
