@@ -107,76 +107,95 @@ CacheHierarchy::access(unsigned core, Addr paddr, bool is_write, Callback cb)
     }
     ++stat_l1_misses;
 
+    // The miss path parks the requester's callback in a pooled
+    // record; every downstream event captures only {this, handle}.
+    const std::uint32_t req =
+        accesses.emplace(PendingAccess{core, paddr, is_write, std::move(cb)});
+
     // Core-side MSHRs cover the private L1/L2 miss path: coalesce
     // same-block requests; stall when out of entries.
     auto &mshrs = core_mshrs[core];
     if (auto it = mshrs.find(block); it != mshrs.end()) {
         it->second.waiters.push_back(
-            [this, core, paddr, is_write, cb = std::move(cb)]() mutable {
-                access(core, paddr, is_write, std::move(cb));
-            });
+            Callback([this, req] { retryAccess(req); }));
         return;
     }
     if (mshrs.size() >= cfg.core_mshrs) {
         core_stalled[core].push_back(
-            [this, core, paddr, is_write, cb = std::move(cb)]() mutable {
-                access(core, paddr, is_write, std::move(cb));
-            });
+            Callback([this, req] { retryAccess(req); }));
         return;
     }
     mshrs.emplace(block, Mshr{});
 
-    // Completion wrapper: release the MSHR, wake coalesced waiters
-    // and any globally stalled requests, then signal the requester.
-    auto done = [this, core, block, cb = std::move(cb)]() mutable {
-        auto &table = core_mshrs[core];
-        auto it = table.find(block);
-        panic_if(it == table.end(), "MSHR vanished for block 0x%llx",
-                 static_cast<unsigned long long>(block));
-        auto waiters = std::move(it->second.waiters);
-        table.erase(it);
-        cb();
-        for (auto &w : waiters)
-            w();
-        drainCoreStalled(core);
-    };
-
     // L2 stage after the L1 lookup latency.
-    eq.schedule(cfg.l1_latency, [this, core, paddr, is_write,
-                                 done = std::move(done)]() mutable {
-        const Addr blk = paddr >> block_shift;
-        ++stat_l2_accesses;
-        CacheLine *l2line = privs[core].l2.find(blk);
-        if (l2line && (!is_write || hasWritePerm(l2line->state))) {
-            ++stat_l2_hits;
-            privs[core].l2.touch(*l2line);
-            MesiState st = l2line->state;
-            if (is_write)
-                st = MesiState::Modified;
-            fillPrivate(core, blk, st);
-            if (is_write) {
-                CacheLine *nl1 = privs[core].l1.find(blk);
-                nl1->dirty = true;
-                l2line->state = MesiState::Modified;
-            }
-            eq.schedule(cfg.l2_latency, std::move(done));
-            return;
-        }
-        ++stat_l2_misses;
-        ++stat_xbar_msgs;
-        eq.schedule(cfg.l2_latency + cfg.xbar_latency,
-                    [this, core, paddr, is_write,
-                     done = std::move(done)]() mutable {
-                        accessL3(core, paddr, is_write, std::move(done));
-                    });
-    });
+    eq.schedule(cfg.l1_latency, [this, req] { missL2(req); });
 }
 
 void
-CacheHierarchy::accessL3(unsigned core, Addr paddr, bool is_write,
-                         Callback done)
+CacheHierarchy::retryAccess(std::uint32_t req)
 {
-    const Addr block = paddr >> block_shift;
+    PendingAccess r = std::move(accesses[req]);
+    accesses.erase(req);
+    access(r.core, r.paddr, r.is_write, std::move(r.cb));
+}
+
+void
+CacheHierarchy::completeCoreMiss(std::uint32_t req)
+{
+    // Release the MSHR, wake coalesced waiters and any globally
+    // stalled requests, then signal the requester.
+    const unsigned core = accesses[req].core;
+    const Addr block = accesses[req].paddr >> block_shift;
+    auto &table = core_mshrs[core];
+    auto it = table.find(block);
+    panic_if(it == table.end(), "MSHR vanished for block 0x%llx",
+             static_cast<unsigned long long>(block));
+    auto waiters = std::move(it->second.waiters);
+    table.erase(it);
+    Callback cb = std::move(accesses[req].cb);
+    accesses.erase(req);
+    cb();
+    for (auto &w : waiters)
+        w();
+    drainCoreStalled(core);
+}
+
+void
+CacheHierarchy::missL2(std::uint32_t req)
+{
+    const PendingAccess &r = accesses[req];
+    const unsigned core = r.core;
+    const bool is_write = r.is_write;
+    const Addr blk = r.paddr >> block_shift;
+    ++stat_l2_accesses;
+    CacheLine *l2line = privs[core].l2.find(blk);
+    if (l2line && (!is_write || hasWritePerm(l2line->state))) {
+        ++stat_l2_hits;
+        privs[core].l2.touch(*l2line);
+        MesiState st = l2line->state;
+        if (is_write)
+            st = MesiState::Modified;
+        fillPrivate(core, blk, st);
+        if (is_write) {
+            CacheLine *nl1 = privs[core].l1.find(blk);
+            nl1->dirty = true;
+            l2line->state = MesiState::Modified;
+        }
+        eq.schedule(cfg.l2_latency, [this, req] { completeCoreMiss(req); });
+        return;
+    }
+    ++stat_l2_misses;
+    ++stat_xbar_msgs;
+    eq.schedule(cfg.l2_latency + cfg.xbar_latency,
+                [this, req] { accessL3(req); });
+}
+
+void
+CacheHierarchy::accessL3(std::uint32_t req)
+{
+    const unsigned core = accesses[req].core;
+    const bool is_write = accesses[req].is_write;
+    const Addr block = accesses[req].paddr >> block_shift;
     ++stat_l3_accesses;
     if (l3_listener)
         l3_listener(block);
@@ -185,9 +204,7 @@ CacheHierarchy::accessL3(unsigned core, Addr paddr, bool is_write,
     if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
         ++stat_l3_coalesced;
         it->second.waiters.push_back(
-            [this, core, paddr, is_write, done = std::move(done)]() mutable {
-                accessL3(core, paddr, is_write, std::move(done));
-            });
+            Callback([this, req] { accessL3(req); }));
         return;
     }
 
@@ -237,40 +254,45 @@ CacheHierarchy::accessL3(unsigned core, Addr paddr, bool is_write,
             }
             fillPrivate(core, block, st);
         }
-        eq.schedule(lat, std::move(done));
+        eq.schedule(lat, [this, req] { completeCoreMiss(req); });
         return;
     }
 
     ++stat_l3_misses;
     if (l3_mshrs.size() >= cfg.l3_mshrs) {
-        l3_stalled.push_back(
-            [this, core, paddr, is_write, done = std::move(done)]() mutable {
-                accessL3(core, paddr, is_write, std::move(done));
-            });
+        l3_stalled.push_back(Callback([this, req] { accessL3(req); }));
         return;
     }
     l3_mshrs.emplace(block, Mshr{});
 
-    hmc.readBlock(paddr, [this, core, paddr, block, is_write,
-                          done = std::move(done)]() mutable {
-        CacheLine &nl = insertL3(block);
-        nl.sharers = 1u << core;
-        nl.owner = static_cast<std::int8_t>(core);
-        fillPrivate(core, block,
-                    is_write ? MesiState::Modified : MesiState::Exclusive);
-        if (is_write) {
-            CacheLine *nl1 = privs[core].l1.find(block);
-            nl1->dirty = true;
-        }
-        eq.schedule(cfg.l3_latency + cfg.xbar_latency, std::move(done));
+    hmc.readBlock(accesses[req].paddr, [this, req] { l3FetchDone(req); });
+}
 
-        auto it = l3_mshrs.find(block);
-        auto waiters = std::move(it->second.waiters);
-        l3_mshrs.erase(it);
-        for (auto &w : waiters)
-            w();
-        drainL3Stalled();
-    });
+void
+CacheHierarchy::l3FetchDone(std::uint32_t req)
+{
+    const unsigned core = accesses[req].core;
+    const bool is_write = accesses[req].is_write;
+    const Addr block = accesses[req].paddr >> block_shift;
+
+    CacheLine &nl = insertL3(block);
+    nl.sharers = 1u << core;
+    nl.owner = static_cast<std::int8_t>(core);
+    fillPrivate(core, block,
+                is_write ? MesiState::Modified : MesiState::Exclusive);
+    if (is_write) {
+        CacheLine *nl1 = privs[core].l1.find(block);
+        nl1->dirty = true;
+    }
+    eq.schedule(cfg.l3_latency + cfg.xbar_latency,
+                [this, req] { completeCoreMiss(req); });
+
+    auto it = l3_mshrs.find(block);
+    auto waiters = std::move(it->second.waiters);
+    l3_mshrs.erase(it);
+    for (auto &w : waiters)
+        w();
+    drainL3Stalled();
 }
 
 void
@@ -389,10 +411,10 @@ CacheHierarchy::backInvalidate(Addr paddr, Callback cb)
     const Addr block = paddr >> block_shift;
 
     if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
+        const std::uint32_t op =
+            back_ops.emplace(BackOp{paddr, std::move(cb)});
         it->second.waiters.push_back(
-            [this, paddr, cb = std::move(cb)]() mutable {
-                backInvalidate(paddr, std::move(cb));
-            });
+            Callback([this, op] { retryBackInvalidate(op); }));
         return;
     }
 
@@ -432,10 +454,10 @@ CacheHierarchy::backWriteback(Addr paddr, Callback cb)
     const Addr block = paddr >> block_shift;
 
     if (auto it = l3_mshrs.find(block); it != l3_mshrs.end()) {
+        const std::uint32_t op =
+            back_ops.emplace(BackOp{paddr, std::move(cb)});
         it->second.waiters.push_back(
-            [this, paddr, cb = std::move(cb)]() mutable {
-                backWriteback(paddr, std::move(cb));
-            });
+            Callback([this, op] { retryBackWriteback(op); }));
         return;
     }
 
@@ -465,6 +487,22 @@ CacheHierarchy::backWriteback(Addr paddr, Callback cb)
     }
     (void)mem_write;
     eq.schedule(cfg.l3_latency, std::move(cb));
+}
+
+void
+CacheHierarchy::retryBackInvalidate(std::uint32_t op)
+{
+    BackOp b = std::move(back_ops[op]);
+    back_ops.erase(op);
+    backInvalidate(b.paddr, std::move(b.cb));
+}
+
+void
+CacheHierarchy::retryBackWriteback(std::uint32_t op)
+{
+    BackOp b = std::move(back_ops[op]);
+    back_ops.erase(op);
+    backWriteback(b.paddr, std::move(b.cb));
 }
 
 bool

@@ -24,7 +24,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -32,7 +31,9 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/hmc.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/slot_pool.hh"
 
 namespace pei
 {
@@ -64,7 +65,9 @@ struct CacheConfig
 class CacheHierarchy
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Continuation;
+    /** PMU locality-monitor hook; 16 bytes fits its `{Pmu *}` closure. */
+    using L3Listener = InlineFunction<void(Addr), 16>;
 
     CacheHierarchy(EventQueue &eq, const CacheConfig &cfg, unsigned cores,
                    HmcController &hmc, StatRegistry &stats);
@@ -89,10 +92,7 @@ class CacheHierarchy
     void backWriteback(Addr paddr, Callback cb);
 
     /** Register the PMU hook invoked on every L3 access. */
-    void setL3AccessListener(std::function<void(Addr)> fn)
-    {
-        l3_listener = std::move(fn);
-    }
+    void setL3AccessListener(L3Listener fn) { l3_listener = std::move(fn); }
 
     /** True if any cache level holds @p paddr's block (test hook). */
     bool contains(Addr paddr);
@@ -146,10 +146,50 @@ class CacheHierarchy
         std::vector<Callback> waiters;
     };
 
+    /**
+     * One in-flight demand access past the L1 lookup.  The
+     * requester's callback is parked here (pooled, slab storage) so
+     * that every L2/L3/DRAM pipeline event captures only
+     * `{this, handle}` — keeping the miss path inside Continuation's
+     * inline-capture budget.
+     */
+    struct PendingAccess
+    {
+        unsigned core;
+        Addr paddr;
+        bool is_write;
+        Callback cb;
+    };
+
+    /** A back-invalidation/-writeback parked behind an L3 MSHR. */
+    struct BackOp
+    {
+        Addr paddr;
+        Callback cb;
+    };
+
     // --- internal operations (state changes are instantaneous) ---
 
-    /** Handle the L3/directory stage of a demand access. */
-    void accessL3(unsigned core, Addr paddr, bool is_write, Callback cb);
+    /** Re-dispatch a parked access (MSHR coalesce/stall retry). */
+    void retryAccess(std::uint32_t req);
+
+    /** The L2 lookup stage of access @p req (after L1 latency). */
+    void missL2(std::uint32_t req);
+
+    /** Handle the L3/directory stage of access @p req. */
+    void accessL3(std::uint32_t req);
+
+    /** DRAM fetch for access @p req landed; fill and wake waiters. */
+    void l3FetchDone(std::uint32_t req);
+
+    /** Release @p req's core MSHR, signal it, wake waiters. */
+    void completeCoreMiss(std::uint32_t req);
+
+    /** Re-dispatch a back-invalidation parked behind an L3 MSHR. */
+    void retryBackInvalidate(std::uint32_t op);
+
+    /** Re-dispatch a back-writeback parked behind an L3 MSHR. */
+    void retryBackWriteback(std::uint32_t op);
 
     /** Fill the private L1+L2 of @p core with @p block in @p state. */
     void fillPrivate(unsigned core, Addr block, MesiState state);
@@ -189,7 +229,13 @@ class CacheHierarchy
     /** Requests stalled on L3-MSHR exhaustion. */
     std::deque<Callback> l3_stalled;
 
-    std::function<void(Addr)> l3_listener;
+    /** Parked in-flight demand accesses (handle-addressed). */
+    SlotPool<PendingAccess> accesses;
+
+    /** Parked back-invalidations/-writebacks awaiting an L3 MSHR. */
+    SlotPool<BackOp> back_ops;
+
+    L3Listener l3_listener;
 
     std::uint64_t inject_skip_back_inval = 0; ///< 0 = no injection
     std::uint64_t back_inval_calls = 0; ///< performed back-invalidations

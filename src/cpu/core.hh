@@ -15,12 +15,12 @@
 #define PEISIM_CPU_CORE_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/vmem.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
 
 namespace pei
@@ -38,7 +38,7 @@ struct CoreConfig
 class Core
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Continuation;
 
     Core(EventQueue &eq, const CoreConfig &cfg, unsigned id,
          StatRegistry &stats)
@@ -90,7 +90,11 @@ class Core
             Callback next = std::move(slot_waiters.front());
             slot_waiters.pop_front();
             eq.schedule(0, std::move(next));
-        } else if (outstanding == 0) {
+        } else if (outstanding == 0 && !drain_waiters.empty()) {
+            // The empty check matters: moving even an empty deque
+            // re-initializes both with a fresh map + node, which
+            // would put two heap allocations on every blocking op's
+            // retire path.
             auto watchers = std::move(drain_waiters);
             drain_waiters.clear();
             for (auto &w : watchers)

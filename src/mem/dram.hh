@@ -13,13 +13,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/addr_map.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
 
 namespace pei
@@ -45,7 +45,7 @@ struct DramConfig
 class Vault
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Continuation;
 
     Vault(EventQueue &eq, const DramConfig &cfg, const AddrMap &map,
           unsigned global_id, StatRegistry &stats);

@@ -83,16 +83,29 @@ HmcController::readBlock(Addr paddr, Callback cb)
 
     const Tick issued = eq.now();
     const Tick arrive = req_link.send(16, loc.cube);
-    eq.scheduleAt(arrive, [this, paddr, loc, issued,
-                           cb = std::move(cb)]() mutable {
-        vaults[loc.globalVault]->accessBlock(
-            paddr, false, [this, loc, issued, cb = std::move(cb)]() mutable {
-                ema_res.add(flitsOf(16 + block_size), eq.now());
-                const Tick back = res_link.send(16 + block_size, loc.cube);
-                hist_read_ticks.record(back - issued);
-                eq.scheduleAt(back, std::move(cb));
-            });
-    });
+    const std::uint32_t txn =
+        read_txns.emplace(ReadTxn{paddr, loc, issued, std::move(cb)});
+    eq.scheduleAt(arrive, [this, txn] { readArrived(txn); });
+}
+
+void
+HmcController::readArrived(std::uint32_t txn)
+{
+    ReadTxn &t = read_txns[txn];
+    vaults[t.loc.globalVault]->accessBlock(t.paddr, false,
+                                           [this, txn] { readDone(txn); });
+}
+
+void
+HmcController::readDone(std::uint32_t txn)
+{
+    ReadTxn &t = read_txns[txn];
+    ema_res.add(flitsOf(16 + block_size), eq.now());
+    const Tick back = res_link.send(16 + block_size, t.loc.cube);
+    hist_read_ticks.record(back - t.issued);
+    Callback cb = std::move(t.cb);
+    read_txns.erase(txn);
+    eq.scheduleAt(back, std::move(cb));
 }
 
 void
@@ -103,15 +116,28 @@ HmcController::writeBlock(Addr paddr, Callback cb)
     ema_req.add(flitsOf(16 + block_size), eq.now());
 
     const Tick arrive = req_link.send(16 + block_size, loc.cube);
-    eq.scheduleAt(arrive, [this, paddr, loc, cb = std::move(cb)]() mutable {
-        vaults[loc.globalVault]->accessBlock(
-            paddr, true, [cb = std::move(cb)]() mutable {
-                // Writes are posted: completion is acknowledged
-                // without consuming response bandwidth (footnote 7).
-                if (cb)
-                    cb();
-            });
-    });
+    const std::uint32_t txn =
+        write_txns.emplace(WriteTxn{paddr, loc, std::move(cb)});
+    eq.scheduleAt(arrive, [this, txn] { writeArrived(txn); });
+}
+
+void
+HmcController::writeArrived(std::uint32_t txn)
+{
+    WriteTxn &t = write_txns[txn];
+    vaults[t.loc.globalVault]->accessBlock(t.paddr, true,
+                                           [this, txn] { writeDone(txn); });
+}
+
+void
+HmcController::writeDone(std::uint32_t txn)
+{
+    // Writes are posted: completion is acknowledged without
+    // consuming response bandwidth (footnote 7).
+    Callback cb = std::move(write_txns[txn].cb);
+    write_txns.erase(txn);
+    if (cb)
+        cb();
 }
 
 void
@@ -135,29 +161,49 @@ HmcController::sendPim(PimPacket pkt, PimHandler::Respond cb)
     ema_req.add(flitsOf(pkt.requestBytes()), eq.now());
     const Tick issued = eq.now();
     const Tick arrive = req_link.send(pkt.requestBytes(), loc.cube);
-    eq.scheduleAt(arrive, [this, loc, handler, issued, pkt = std::move(pkt),
-                           cb = std::move(cb)]() mutable {
-        handler->handle(
-            std::move(pkt),
-            [this, loc, issued, cb = std::move(cb)](PimPacket done) mutable {
-                const unsigned bytes = done.responseBytes();
-                Tick back;
-                if (bytes > 0) {
-                    ema_res.add(flitsOf(bytes), eq.now());
-                    back = res_link.send(bytes, loc.cube);
-                } else {
-                    // Posted ack: propagation latency only, no link
-                    // occupancy (acks aggregate into idle flits).
-                    back = eq.now() + nsToTicks(cfg.link.latency_ns) +
-                           nsToTicks(cfg.link.hop_ns) * loc.cube;
-                }
-                hist_pim_roundtrip_ticks.record(back - issued);
-                eq.scheduleAt(back, [cb = std::move(cb),
-                                     done = std::move(done)]() mutable {
-                    cb(std::move(done));
-                });
-            });
+    const std::uint32_t txn =
+        pim_txns.emplace(PimTxn{loc, issued, std::move(pkt), std::move(cb)});
+    eq.scheduleAt(arrive, [this, txn] { pimArrived(txn); });
+}
+
+void
+HmcController::pimArrived(std::uint32_t txn)
+{
+    PimTxn &t = pim_txns[txn];
+    PimHandler *handler = pim_handlers[t.loc.globalVault];
+    handler->handle(std::move(t.pkt), [this, txn](PimPacket done) {
+        pimDone(txn, std::move(done));
     });
+}
+
+void
+HmcController::pimDone(std::uint32_t txn, PimPacket done)
+{
+    PimTxn &t = pim_txns[txn];
+    const unsigned bytes = done.responseBytes();
+    Tick back;
+    if (bytes > 0) {
+        ema_res.add(flitsOf(bytes), eq.now());
+        back = res_link.send(bytes, t.loc.cube);
+    } else {
+        // Posted ack: propagation latency only, no link occupancy
+        // (acks aggregate into idle flits).
+        back = eq.now() + nsToTicks(cfg.link.latency_ns) +
+               nsToTicks(cfg.link.hop_ns) * t.loc.cube;
+    }
+    hist_pim_roundtrip_ticks.record(back - t.issued);
+    t.pkt = std::move(done); // park the response in the slot
+    eq.scheduleAt(back, [this, txn] { pimRespond(txn); });
+}
+
+void
+HmcController::pimRespond(std::uint32_t txn)
+{
+    PimTxn &t = pim_txns[txn];
+    PimHandler::Respond cb = std::move(t.cb);
+    PimPacket done = std::move(t.pkt);
+    pim_txns.erase(txn);
+    cb(std::move(done));
 }
 
 } // namespace pei

@@ -16,7 +16,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -25,7 +24,9 @@
 #include "mem/addr_map.hh"
 #include "mem/dram.hh"
 #include "mem/pim_iface.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/slot_pool.hh"
 
 namespace pei
 {
@@ -137,7 +138,7 @@ class EmaCounter
 class HmcController
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Continuation;
 
     HmcController(EventQueue &eq, const HmcConfig &cfg, const AddrMap &map,
                   StatRegistry &stats);
@@ -179,7 +180,46 @@ class HmcController
     }
 
   private:
+    /**
+     * In-flight transaction records.  The continuation/packet state
+     * that used to ride inside nested closures is parked here so the
+     * per-stage events capture only `{this, handle}` (within
+     * Continuation's inline budget) and the steady state allocates
+     * nothing: slots recycle through the pools' freelists.
+     */
+    struct ReadTxn
+    {
+        Addr paddr;
+        MemLoc loc;
+        Tick issued;
+        Callback cb;
+    };
+
+    struct WriteTxn
+    {
+        Addr paddr;
+        MemLoc loc;
+        Callback cb;
+    };
+
+    struct PimTxn
+    {
+        MemLoc loc;
+        Tick issued;
+        PimPacket pkt; ///< request in flight; reused for the response
+        PimHandler::Respond cb;
+    };
+
     unsigned flitsOf(unsigned bytes) const;
+
+    // Stage handlers (one per latency edge of the old closure chain).
+    void readArrived(std::uint32_t txn);
+    void readDone(std::uint32_t txn);
+    void writeArrived(std::uint32_t txn);
+    void writeDone(std::uint32_t txn);
+    void pimArrived(std::uint32_t txn);
+    void pimDone(std::uint32_t txn, PimPacket done);
+    void pimRespond(std::uint32_t txn);
 
     EventQueue &eq;
     HmcConfig cfg;
@@ -190,6 +230,9 @@ class HmcController
     EmaCounter ema_res;
     std::vector<std::unique_ptr<Vault>> vaults;
     std::vector<PimHandler *> pim_handlers;
+    SlotPool<ReadTxn> read_txns;
+    SlotPool<WriteTxn> write_txns;
+    SlotPool<PimTxn> pim_txns;
 
     Counter stat_reads;
     Counter stat_writes;

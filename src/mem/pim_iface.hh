@@ -15,9 +15,9 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 
 #include "common/types.hh"
+#include "sim/continuation.hh"
 
 namespace pei
 {
@@ -70,7 +70,13 @@ class PimHandler
   public:
     virtual ~PimHandler() = default;
 
-    using Respond = std::function<void(PimPacket)>;
+    /**
+     * Completion callback for a dispatched PIM packet.  The 24-byte
+     * inline budget fits the HMC controller's `{this, txn-handle}`
+     * response stage; larger responder state must live in a
+     * transaction record, not the closure.
+     */
+    using Respond = InlineFunction<void(PimPacket), 24>;
 
     virtual void handle(PimPacket pkt, Respond respond) = 0;
 };

@@ -102,39 +102,52 @@ void
 MemSidePcu::handle(PimPacket pkt, Respond respond)
 {
     ++stat_ops;
-    logic.acquireEntry([this, pkt = std::move(pkt),
-                        respond = std::move(respond)]() mutable {
-        // The operand buffer issues the DRAM read immediately, even
-        // if the computation logic is busy (paper §4.2).
-        const Addr paddr = pkt.paddr;
-        const Tick read_start = eq.now();
-        vault.accessBlock(paddr, false, [this, read_start,
-                                         pkt = std::move(pkt),
-                                         respond =
-                                             std::move(respond)]() mutable {
-            hist_dram_ticks.record(eq.now() - read_start);
-            const PeiOpInfo &info =
-                peiOpInfo(static_cast<PeiOpcode>(pkt.op));
-            logic.compute(info.compute_cycles,
-                          [this, pkt = std::move(pkt),
-                           respond = std::move(respond)]() mutable {
-                executePeiFunctional(vm, pkt);
-                if (pkt.is_writer) {
-                    const Addr paddr = pkt.paddr;
-                    vault.accessBlock(
-                        paddr, true,
-                        [this, pkt = std::move(pkt),
-                         respond = std::move(respond)]() mutable {
-                            logic.releaseEntry();
-                            respond(std::move(pkt));
-                        });
-                } else {
-                    logic.releaseEntry();
-                    respond(std::move(pkt));
-                }
-            });
-        });
-    });
+    const std::uint32_t txn =
+        ops.emplace(OpTxn{std::move(pkt), std::move(respond)});
+    logic.acquireEntry([this, txn] { entryGranted(txn); });
+}
+
+void
+MemSidePcu::entryGranted(std::uint32_t txn)
+{
+    // The operand buffer issues the DRAM read immediately, even if
+    // the computation logic is busy (paper §4.2).
+    OpTxn &t = ops[txn];
+    t.read_start = eq.now();
+    vault.accessBlock(t.pkt.paddr, false, [this, txn] { readDone(txn); });
+}
+
+void
+MemSidePcu::readDone(std::uint32_t txn)
+{
+    OpTxn &t = ops[txn];
+    hist_dram_ticks.record(eq.now() - t.read_start);
+    const PeiOpInfo &info = peiOpInfo(static_cast<PeiOpcode>(t.pkt.op));
+    logic.compute(info.compute_cycles, [this, txn] { computed(txn); });
+}
+
+void
+MemSidePcu::computed(std::uint32_t txn)
+{
+    OpTxn &t = ops[txn];
+    executePeiFunctional(vm, t.pkt);
+    if (t.pkt.is_writer) {
+        vault.accessBlock(t.pkt.paddr, true,
+                          [this, txn] { respondNow(txn); });
+    } else {
+        respondNow(txn);
+    }
+}
+
+void
+MemSidePcu::respondNow(std::uint32_t txn)
+{
+    OpTxn &t = ops[txn];
+    Respond respond = std::move(t.respond);
+    PimPacket pkt = std::move(t.pkt);
+    ops.erase(txn);
+    logic.releaseEntry();
+    respond(std::move(pkt));
 }
 
 } // namespace pei

@@ -16,7 +16,6 @@
 #define PEISIM_PIM_PCU_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,7 +25,9 @@
 #include "mem/pim_iface.hh"
 #include "mem/vmem.hh"
 #include "pim/pei_op.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/slot_pool.hh"
 
 namespace pei
 {
@@ -47,7 +48,7 @@ struct PcuConfig
 class Pcu
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Continuation;
 
     Pcu(EventQueue &eq, const std::string &name, unsigned entries,
         unsigned issue_width, std::uint64_t mhz, StatRegistry &stats);
@@ -107,10 +108,25 @@ class MemSidePcu : public PimHandler
     Pcu &pcu() { return logic; }
 
   private:
+    /** One in-flight PIM operation: packet + responder parked in a
+     *  pooled record so stage events capture only `{this, handle}`. */
+    struct OpTxn
+    {
+        PimPacket pkt;
+        Respond respond;
+        Tick read_start = 0;
+    };
+
+    void entryGranted(std::uint32_t txn);
+    void readDone(std::uint32_t txn);
+    void computed(std::uint32_t txn);
+    void respondNow(std::uint32_t txn);
+
     EventQueue &eq;
     Vault &vault;
     VirtualMemory &vm;
     Pcu logic;
+    SlotPool<OpTxn> ops;
 
     Counter stat_ops;
     Histogram hist_dram_ticks; ///< target-block DRAM read latency

@@ -16,7 +16,10 @@ PimDirectory::PimDirectory(EventQueue &eq, unsigned num_entries,
         fatal_if(!isPowerOf2(num_entries),
                  "PIM directory entry count must be a power of two");
         index_bits = floorLog2(num_entries);
-        entries.resize(num_entries);
+        // Sized construction (not resize): Entry holds a deque of
+        // move-only waiters, whose non-noexcept move makes resize's
+        // relocation path demand a (deleted) copy constructor.
+        entries = std::vector<Entry>(num_entries);
     }
     stats.add(name + ".acquires", &stat_acquires);
     stats.add(name + ".releases", &stat_releases);
@@ -56,7 +59,7 @@ PimDirectory::entryFor(Addr block)
 }
 
 void
-PimDirectory::grantLocked(Entry &e, const Waiter &w)
+PimDirectory::grantLocked(Entry &e, Waiter w)
 {
     if (w.writer)
         e.active_writer = true;
@@ -64,9 +67,9 @@ PimDirectory::grantLocked(Entry &e, const Waiter &w)
         ++e.active_readers;
     e.holder_blocks.push_back(w.block);
     if (access_latency == 0)
-        eq.schedule(0, w.cb);
+        eq.schedule(0, std::move(w.cb));
     else
-        eq.schedule(access_latency, w.cb);
+        eq.schedule(access_latency, std::move(w.cb));
 }
 
 void
@@ -118,14 +121,14 @@ PimDirectory::drainEntry(Entry &e)
                 break;
             Waiter w = std::move(front);
             e.queue.pop_front();
-            grantLocked(e, w);
+            grantLocked(e, std::move(w));
             break; // only one writer may hold the entry
         }
         if (e.active_writer)
             break;
         Waiter w = std::move(front);
         e.queue.pop_front();
-        grantLocked(e, w); // grant consecutive readers together
+        grantLocked(e, std::move(w)); // grant consecutive readers together
     }
 }
 

@@ -21,13 +21,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/bitutil.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
 
 namespace pei
@@ -37,7 +37,7 @@ namespace pei
 class PimDirectory
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = Continuation;
 
     /**
      * @param entries  number of direct-mapped entries (power of two),
@@ -131,7 +131,7 @@ class PimDirectory
 
     Entry &entryFor(Addr block);
     std::size_t indexOf(Addr block) const;
-    void grantLocked(Entry &e, const Waiter &w);
+    void grantLocked(Entry &e, Waiter w);
     void drainEntry(Entry &e);
     void writerDone();
 

@@ -129,33 +129,26 @@ Pmu::executePei(unsigned core, PeiOpcode op, Addr paddr, const void *input,
     if (pkt.is_writer)
         dir->registerWriter();
 
+    const std::uint32_t txn =
+        txns.emplace(PeiTxn{std::move(pkt), std::move(done), core});
     if (issue_latency > 0) {
-        eq.schedule(issue_latency,
-                    [this, core, pkt = std::move(pkt),
-                     done = std::move(done)]() mutable {
-                        startPei(core, std::move(pkt), std::move(done));
-                    });
+        eq.schedule(issue_latency, [this, txn] { startPei(txn); });
         return;
     }
-    startPei(core, std::move(pkt), std::move(done));
+    startPei(txn);
 }
 
 void
-Pmu::startPei(unsigned core, PimPacket pkt, DoneFn done)
+Pmu::startPei(std::uint32_t txn)
 {
     if (cfg.mode == ExecMode::IdealHost) {
         // PEIs are ordinary host instructions: atomicity is free
         // (ideal zero-cycle directory) and no PCU resources exist.
-        const Addr block = pkt.paddr >> block_shift;
-        const bool writer = pkt.is_writer;
-        const Tick asked = eq.now();
-        dir->acquire(block, writer,
-                     [this, core, asked, pkt = std::move(pkt),
-                      done = std::move(done)]() mutable {
-                         hist_dir_wait.record(eq.now() - asked);
-                         hostExecute(core, std::move(pkt),
-                                     std::move(done));
-                     },
+        PeiTxn &t = txns[txn];
+        const Addr block = t.pkt.paddr >> block_shift;
+        const bool writer = t.pkt.is_writer;
+        t.asked = eq.now();
+        dir->acquire(block, writer, [this, txn] { idealGranted(txn); },
                      /*writer_registered=*/writer);
         return;
     }
@@ -169,33 +162,43 @@ Pmu::startPei(unsigned core, PimPacket pkt, DoneFn done)
     // entries — host-side execution claims a host-PCU entry and
     // memory-side execution claims the target vault's PCU entry
     // (hence the paper's 576 = 16x4 + 128x4 in-flight PEI bound).
-    eq.schedule(cfg.pmu_xbar_latency,
-                [this, core, pkt = std::move(pkt),
-                 done = std::move(done)]() mutable {
-                    const Addr block = pkt.paddr >> block_shift;
-                    const bool writer = pkt.is_writer;
-                    const Tick asked = eq.now();
-                    dir->acquire(
-                        block, writer,
-                        [this, core, asked, pkt = std::move(pkt),
-                         done = std::move(done)]() mutable {
-                            hist_dir_wait.record(eq.now() - asked);
-                            decide(core, std::move(pkt),
-                                   std::move(done));
-                        },
-                        /*writer_registered=*/writer);
-                });
+    eq.schedule(cfg.pmu_xbar_latency, [this, txn] { acquireLock(txn); });
 }
 
 void
-Pmu::decide(unsigned core, PimPacket pkt, DoneFn done)
+Pmu::idealGranted(std::uint32_t txn)
+{
+    hist_dir_wait.record(eq.now() - txns[txn].asked);
+    hostExecute(txn);
+}
+
+void
+Pmu::acquireLock(std::uint32_t txn)
+{
+    PeiTxn &t = txns[txn];
+    const Addr block = t.pkt.paddr >> block_shift;
+    const bool writer = t.pkt.is_writer;
+    t.asked = eq.now();
+    dir->acquire(block, writer, [this, txn] { lockGranted(txn); },
+                 /*writer_registered=*/writer);
+}
+
+void
+Pmu::lockGranted(std::uint32_t txn)
+{
+    hist_dir_wait.record(eq.now() - txns[txn].asked);
+    decide(txn);
+}
+
+void
+Pmu::decide(std::uint32_t txn)
 {
     switch (cfg.mode) {
       case ExecMode::HostOnly:
-        hostExecute(core, std::move(pkt), std::move(done));
+        hostExecute(txn);
         return;
       case ExecMode::PimOnly:
-        memExecute(core, std::move(pkt), std::move(done));
+        memExecute(txn);
         return;
       case ExecMode::IdealHost:
         panic("Ideal-Host PEIs do not reach the PMU decision stage");
@@ -211,40 +214,42 @@ Pmu::decide(unsigned core, PimPacket pkt, DoneFn done)
         mon->accessLatency() > dir->accessLatency()
             ? mon->accessLatency() - dir->accessLatency()
             : 0;
-    eq.schedule(extra, [this, core, pkt = std::move(pkt),
-                        done = std::move(done)]() mutable {
-        const Addr block = pkt.paddr >> block_shift;
-        const bool high_locality = mon->lookupForPei(block);
-        if (high_locality) {
-            // §7.4 saturation override: a saturated off-chip link
-            // can make memory-side execution cheaper even for a
-            // high-locality PEI.  The EMA decays with a 10 µs
-            // half-life, so the override releases once pressure
-            // subsides.
-            if (cfg.balanced_dispatch &&
-                cfg.balanced_saturation_flits > 0.0 &&
-                std::max(hmc.emaRequestFlits(), hmc.emaResponseFlits()) >=
-                    cfg.balanced_saturation_flits) {
-                ++stat_saturation_to_mem;
-                memExecute(core, std::move(pkt), std::move(done));
-                return;
-            }
-            hostExecute(core, std::move(pkt), std::move(done));
+    eq.schedule(extra, [this, txn] { decideLookup(txn); });
+}
+
+void
+Pmu::decideLookup(std::uint32_t txn)
+{
+    PeiTxn &t = txns[txn];
+    const Addr block = t.pkt.paddr >> block_shift;
+    const bool high_locality = mon->lookupForPei(block);
+    if (high_locality) {
+        // §7.4 saturation override: a saturated off-chip link can
+        // make memory-side execution cheaper even for a
+        // high-locality PEI.  The EMA decays with a 10 µs half-life,
+        // so the override releases once pressure subsides.
+        if (cfg.balanced_dispatch && cfg.balanced_saturation_flits > 0.0 &&
+            std::max(hmc.emaRequestFlits(), hmc.emaResponseFlits()) >=
+                cfg.balanced_saturation_flits) {
+            ++stat_saturation_to_mem;
+            memExecute(txn);
             return;
         }
-        bool offload = true;
-        if (cfg.balanced_dispatch) {
-            offload = balancedChoice(pkt);
-            if (offload)
-                ++stat_balanced_to_mem;
-            else
-                ++stat_balanced_to_host;
-        }
+        hostExecute(txn);
+        return;
+    }
+    bool offload = true;
+    if (cfg.balanced_dispatch) {
+        offload = balancedChoice(t.pkt);
         if (offload)
-            memExecute(core, std::move(pkt), std::move(done));
+            ++stat_balanced_to_mem;
         else
-            hostExecute(core, std::move(pkt), std::move(done));
-    });
+            ++stat_balanced_to_host;
+    }
+    if (offload)
+        memExecute(txn);
+    else
+        hostExecute(txn);
 }
 
 bool
@@ -270,67 +275,66 @@ Pmu::balancedChoice(const PimPacket &pkt)
 }
 
 void
-Pmu::hostExecute(unsigned core, PimPacket pkt, DoneFn done)
+Pmu::hostExecute(std::uint32_t txn)
 {
     if (cfg.mode != ExecMode::IdealHost) {
         // Fig. 4 step ③: allocate the operand buffer entry now that
         // the lock is held; stall if the buffer is full.
-        host_pcus[core]->acquireEntry(
-            [this, core, pkt = std::move(pkt),
-             done = std::move(done)]() mutable {
-                hostExecuteBuffered(core, std::move(pkt),
-                                    std::move(done));
-            });
+        host_pcus[txns[txn].core]->acquireEntry(
+            [this, txn] { hostExecuteBuffered(txn); });
         return;
     }
-    hostExecuteBuffered(core, std::move(pkt), std::move(done));
+    hostExecuteBuffered(txn);
 }
 
 void
-Pmu::hostExecuteBuffered(unsigned core, PimPacket pkt, DoneFn done)
+Pmu::hostExecuteBuffered(std::uint32_t txn)
 {
     // Fig. 4 steps ③-⑤: load the target block through the core's
     // L1, compute, store back if the PEI modifies the block.
-    const Addr paddr = pkt.paddr;
-    const Tick load_start = eq.now();
-    hierarchy.access(core, paddr, false, [this, core, load_start,
-                                          pkt = std::move(pkt),
-                                          done = std::move(done)]() mutable {
-        hist_host_cache.record(eq.now() - load_start);
-        const PeiOpInfo &info = peiOpInfo(static_cast<PeiOpcode>(pkt.op));
-        auto after_compute = [this, core, pkt = std::move(pkt),
-                              done = std::move(done)]() mutable {
-            executePeiFunctional(vm, pkt);
-            if (pkt.is_writer) {
-                const Addr paddr = pkt.paddr;
-                hierarchy.access(
-                    core, paddr, true,
-                    [this, core, pkt = std::move(pkt),
-                     done = std::move(done)]() mutable {
-                        finish(core, true, std::move(pkt), done);
-                    });
-            } else {
-                finish(core, true, std::move(pkt), done);
-            }
-        };
-        if (cfg.mode == ExecMode::IdealHost) {
-            // Normal-instruction execution: fixed ALU latency, no
-            // PCU port contention (the OoO core absorbs it).
-            eq.schedule(info.compute_cycles, std::move(after_compute));
-        } else {
-            host_pcus[core]->compute(info.compute_cycles,
-                                     std::move(after_compute));
-        }
-    });
+    PeiTxn &t = txns[txn];
+    t.load_start = eq.now();
+    hierarchy.access(t.core, t.pkt.paddr, false,
+                     [this, txn] { hostLoaded(txn); });
 }
 
 void
-Pmu::memExecute(unsigned core, PimPacket pkt, DoneFn done)
+Pmu::hostLoaded(std::uint32_t txn)
 {
-    const Addr block = pkt.paddr >> block_shift;
+    PeiTxn &t = txns[txn];
+    hist_host_cache.record(eq.now() - t.load_start);
+    const PeiOpInfo &info = peiOpInfo(static_cast<PeiOpcode>(t.pkt.op));
+    if (cfg.mode == ExecMode::IdealHost) {
+        // Normal-instruction execution: fixed ALU latency, no PCU
+        // port contention (the OoO core absorbs it).
+        eq.schedule(info.compute_cycles, [this, txn] { hostComputed(txn); });
+    } else {
+        host_pcus[t.core]->compute(info.compute_cycles,
+                                   [this, txn] { hostComputed(txn); });
+    }
+}
+
+void
+Pmu::hostComputed(std::uint32_t txn)
+{
+    PeiTxn &t = txns[txn];
+    executePeiFunctional(vm, t.pkt);
+    if (t.pkt.is_writer) {
+        hierarchy.access(t.core, t.pkt.paddr, true,
+                         [this, txn] { finish(txn, true); });
+    } else {
+        finish(txn, true);
+    }
+}
+
+void
+Pmu::memExecute(std::uint32_t txn)
+{
+    PeiTxn &t = txns[txn];
+    const Addr block = t.pkt.paddr >> block_shift;
     if (cfg.mode == ExecMode::LocalityAware)
         mon->onPimIssue(block);
-    if (pkt.is_writer)
+    if (t.pkt.is_writer)
         ++stat_peis_mem_writers;
     else
         ++stat_peis_mem_readers;
@@ -338,31 +342,38 @@ Pmu::memExecute(unsigned core, PimPacket pkt, DoneFn done)
     // Fig. 5 step ③: clean the on-chip copies of the target block
     // (back-invalidation for writers, back-writeback for readers);
     // input operands move to the PMU concurrently.
-    const Addr paddr = pkt.paddr;
-    auto offload = [this, core, block, pkt = std::move(pkt),
-                    done = std::move(done)]() mutable {
-        // The block is clean off-chip from here until retirement;
-        // probes verify no (writer) / no Modified (reader) cached
-        // copy exists in this window.
-        (pkt.is_writer ? mem_writer_blocks : mem_reader_blocks)
-            .push_back(block);
-        hmc.sendPim(std::move(pkt),
-                    [this, core, done = std::move(done)](
-                        PimPacket completed) mutable {
-                        finish(core, false, std::move(completed), done);
-                    });
-    };
-    if (pkt.is_writer)
-        hierarchy.backInvalidate(paddr, std::move(offload));
+    if (t.pkt.is_writer)
+        hierarchy.backInvalidate(t.pkt.paddr, [this, txn] { offload(txn); });
     else
-        hierarchy.backWriteback(paddr, std::move(offload));
+        hierarchy.backWriteback(t.pkt.paddr, [this, txn] { offload(txn); });
 }
 
 void
-Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
-            const DoneFn &done)
+Pmu::offload(std::uint32_t txn)
 {
-    const Ticks latency = eq.now() - pkt.issue_tick;
+    // The block is clean off-chip from here until retirement; probes
+    // verify no (writer) / no Modified (reader) cached copy exists in
+    // this window.
+    PeiTxn &t = txns[txn];
+    (t.pkt.is_writer ? mem_writer_blocks : mem_reader_blocks)
+        .push_back(t.pkt.paddr >> block_shift);
+    hmc.sendPim(std::move(t.pkt), [this, txn](PimPacket completed) {
+        memFinish(txn, std::move(completed));
+    });
+}
+
+void
+Pmu::memFinish(std::uint32_t txn, PimPacket completed)
+{
+    txns[txn].pkt = std::move(completed);
+    finish(txn, false);
+}
+
+void
+Pmu::finish(std::uint32_t txn, bool executed_at_host)
+{
+    PeiTxn &t = txns[txn];
+    const Ticks latency = eq.now() - t.pkt.issue_tick;
     hist_pei_latency.record(latency);
     if (executed_at_host) {
         ++stat_peis_host;
@@ -371,9 +382,9 @@ Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
         ++stat_peis_mem;
         hist_pei_latency_mem.record(latency);
         auto &inflight =
-            pkt.is_writer ? mem_writer_blocks : mem_reader_blocks;
+            t.pkt.is_writer ? mem_writer_blocks : mem_reader_blocks;
         const auto it = std::find(inflight.begin(), inflight.end(),
-                                  pkt.paddr >> block_shift);
+                                  t.pkt.paddr >> block_shift);
         panic_if(it == inflight.end(),
                  "mem-side PEI retired without an in-flight record");
         inflight.erase(it);
@@ -382,13 +393,18 @@ Pmu::finish(unsigned core, bool executed_at_host, PimPacket pkt,
     // Releasing the directory entry also retires the writer that
     // executePei registered, waking pfence waiters when it was the
     // last one in flight.
-    dir->release(pkt.paddr >> block_shift, pkt.is_writer);
+    dir->release(t.pkt.paddr >> block_shift, t.pkt.is_writer);
     // Host-side execution held a host-PCU operand buffer entry;
     // memory-side execution used the vault PCU's buffer instead
     // (released inside MemSidePcu).
     if (executed_at_host && cfg.mode != ExecMode::IdealHost)
-        host_pcus[core]->releaseEntry();
+        host_pcus[t.core]->releaseEntry();
 
+    // Retire the transaction before invoking the issuer: the callback
+    // may immediately issue another PEI that reuses this slot.
+    DoneFn done = std::move(t.done);
+    PimPacket pkt = std::move(t.pkt);
+    txns.erase(txn);
     done(pkt);
 }
 

@@ -20,7 +20,6 @@
 #ifndef PEISIM_PIM_PMU_HH
 #define PEISIM_PIM_PMU_HH
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,7 +31,9 @@
 #include "pim/pcu.hh"
 #include "pim/pei_op.hh"
 #include "pim/pim_directory.hh"
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/slot_pool.hh"
 
 namespace pei
 {
@@ -85,8 +86,13 @@ struct PimConfig
 class Pmu
 {
   public:
-    using Callback = std::function<void()>;
-    using DoneFn = std::function<void(const PimPacket &)>;
+    using Callback = Continuation;
+    /**
+     * PEI-retirement callback.  The 48-byte inline budget fits the
+     * largest issuer closure in the tree: an async PEI's
+     * `{Ctx *, CompletionFn}` completion forwarder.
+     */
+    using DoneFn = InlineFunction<void(const PimPacket &), 48>;
 
     Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
         unsigned l3_sets, unsigned l3_ways, CacheHierarchy &hierarchy,
@@ -152,13 +158,37 @@ class Pmu
     }
 
   private:
-    void startPei(unsigned core, PimPacket pkt, DoneFn done);
-    void decide(unsigned core, PimPacket pkt, DoneFn done);
-    void hostExecute(unsigned core, PimPacket pkt, DoneFn done);
-    void hostExecuteBuffered(unsigned core, PimPacket pkt, DoneFn done);
-    void memExecute(unsigned core, PimPacket pkt, DoneFn done);
-    void finish(unsigned core, bool executed_at_host, PimPacket pkt,
-                const DoneFn &done);
+    /**
+     * One in-flight PEI from issue to retirement.  The packet and
+     * the issuer's completion callback are parked here (pooled, slab
+     * storage) so that every pipeline-stage event captures only
+     * `{this, txn-handle}` — the restructure that keeps the whole
+     * PEI pipeline inside Continuation's inline-capture budget.
+     */
+    struct PeiTxn
+    {
+        PimPacket pkt;
+        DoneFn done;
+        unsigned core;
+        Tick asked = 0;      ///< directory-wait start
+        Tick load_start = 0; ///< host cache-load start
+    };
+
+    // Pipeline stages, one per latency edge of the PEI's lifetime.
+    void startPei(std::uint32_t txn);
+    void idealGranted(std::uint32_t txn);
+    void acquireLock(std::uint32_t txn);
+    void lockGranted(std::uint32_t txn);
+    void decide(std::uint32_t txn);
+    void decideLookup(std::uint32_t txn);
+    void hostExecute(std::uint32_t txn);
+    void hostExecuteBuffered(std::uint32_t txn);
+    void hostLoaded(std::uint32_t txn);
+    void hostComputed(std::uint32_t txn);
+    void memExecute(std::uint32_t txn);
+    void offload(std::uint32_t txn);
+    void memFinish(std::uint32_t txn, PimPacket completed);
+    void finish(std::uint32_t txn, bool executed_at_host);
 
     /** Balanced-dispatch choice on a locality-monitor miss:
      *  true = offload to memory. */
@@ -174,6 +204,8 @@ class Pmu
     std::unique_ptr<LocalityMonitor> mon;
     std::vector<std::unique_ptr<Pcu>> host_pcus;
     std::vector<std::unique_ptr<MemSidePcu>> mem_pcus;
+
+    SlotPool<PeiTxn> txns; ///< in-flight PEI transaction records
 
     /** In-flight memory-side PEI targets (see memWriterBlocks()). */
     std::vector<Addr> mem_writer_blocks;

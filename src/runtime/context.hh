@@ -117,7 +117,12 @@ class PeiAwaiter
 class AsyncPeiAwaiter
 {
   public:
-    using CompletionFn = std::function<void(const PimPacket &)>;
+    /**
+     * 32 bytes of inline capture: the completion forwarder the issue
+     * path builds is `{Ctx *, CompletionFn}`, which must fit the
+     * PMU's 48-byte DoneFn budget (8 + 40 = 48 exactly).
+     */
+    using CompletionFn = InlineFunction<void(const PimPacket &), 32>;
 
     AsyncPeiAwaiter(Ctx &ctx, PeiOpcode op, Addr vaddr, const void *input,
                     unsigned input_size, CompletionFn on_complete = nullptr)
@@ -335,9 +340,15 @@ class Ctx
     friend class detail::DrainAwaiter;
     friend class detail::PfenceAwaiter;
 
-    /** Issue a translated timing access; @p done on completion. */
+    /**
+     * Issue a translated timing access; @p done on completion.
+     * Templated on the callback's concrete type so the TLB-defer
+     * closure wraps the raw (small) lambda, not a full-width
+     * Continuation — which could never fit inside another one.
+     */
+    template <typename Done>
     void
-    issueAccess(Addr vaddr, bool is_write, std::function<void()> done)
+    issueAccess(Addr vaddr, bool is_write, Done done)
     {
         Core &c = core();
         if (is_write)
@@ -346,13 +357,15 @@ class Ctx
             c.countLoad();
         const Ticks tlb_lat = c.translateLatency(vaddr);
         const Addr paddr = sys_.memory().translate(vaddr);
-        auto issue = [this, paddr, is_write, done = std::move(done)] {
+        if (tlb_lat == 0) {
             sys_.caches().access(core_id, paddr, is_write, std::move(done));
-        };
-        if (tlb_lat == 0)
-            issue();
-        else
-            sys_.eventQueue().schedule(tlb_lat, std::move(issue));
+            return;
+        }
+        sys_.eventQueue().schedule(
+            tlb_lat, [this, paddr, is_write, done = std::move(done)]() mutable {
+                sys_.caches().access(core_id, paddr, is_write,
+                                     std::move(done));
+            });
     }
 
     /** Issue a translated PEI; @p done receives the completion. */
@@ -383,7 +396,7 @@ MemOpAwaiter::await_suspend(std::coroutine_handle<> h)
     ctx.core().acquireSlot([this, h] {
         ctx.issueAccess(vaddr, is_write, [this, h] {
             ctx.core().releaseSlot();
-            h.resume();
+            resumeLive(h);
         });
     });
 }
@@ -410,7 +423,7 @@ AsyncMemOpAwaiter::await_suspend(std::coroutine_handle<> h)
 {
     // Resumed (asynchronously) once a slot frees up; the slot is
     // handed over inside releaseSlot().
-    ctx.core().acquireSlot([h] { h.resume(); });
+    ctx.core().acquireSlot([h] { resumeLive(h); });
 }
 
 inline void
@@ -429,7 +442,7 @@ PeiAwaiter::await_suspend(std::coroutine_handle<> h)
                      [this, h](const PimPacket &pkt) {
                          result = pkt;
                          ctx.core().releaseSlot();
-                         h.resume();
+                         resumeLive(h);
                      });
     });
 }
@@ -446,7 +459,7 @@ AsyncPeiAwaiter::await_ready()
 inline void
 AsyncPeiAwaiter::await_suspend(std::coroutine_handle<> h)
 {
-    ctx.core().acquireSlot([h] { h.resume(); });
+    ctx.core().acquireSlot([h] { resumeLive(h); });
 }
 
 inline void
@@ -454,7 +467,7 @@ AsyncPeiAwaiter::await_resume()
 {
     Ctx *c = &ctx;
     c->issuePei(op, vaddr, input_buf, input_size,
-                [c, fn = std::move(on_complete)](const PimPacket &pkt) {
+                [c, fn = std::move(on_complete)](const PimPacket &pkt) mutable {
                     if (fn)
                         fn(pkt);
                     c->core().releaseSlot();
@@ -479,7 +492,7 @@ StreamLoadAwaiter::await_ready()
 inline void
 StreamLoadAwaiter::await_suspend(std::coroutine_handle<> h)
 {
-    ctx.core().acquireSlot([h] { h.resume(); });
+    ctx.core().acquireSlot([h] { resumeLive(h); });
 }
 
 inline void
@@ -500,7 +513,7 @@ DrainAwaiter::await_ready()
 inline void
 DrainAwaiter::await_suspend(std::coroutine_handle<> h)
 {
-    ctx.core().waitForDrain([h] { h.resume(); });
+    ctx.core().waitForDrain([h] { resumeLive(h); });
 }
 
 inline void
@@ -509,7 +522,7 @@ PfenceAwaiter::await_suspend(std::coroutine_handle<> h)
     // pfence blocks the issuing core; its own async PEIs must have
     // entered the PEI pipeline, which issue-order guarantees, and
     // the PMU-side tracking covers them from issue to retirement.
-    ctx.sys().pmu().pfence([h] { h.resume(); });
+    ctx.sys().pmu().pfence([h] { resumeLive(h); });
 }
 
 } // namespace detail

@@ -15,6 +15,7 @@
 
 #include "common/logging.hh"
 #include "sim/event_queue.hh"
+#include "sim/task.hh"
 
 namespace pei
 {
@@ -66,7 +67,7 @@ class Barrier
         auto released = std::move(waiters);
         waiters.clear();
         for (auto h : released)
-            eq.schedule(0, [h] { h.resume(); });
+            eq.schedule(0, Continuation([h] { resumeLive(h); }));
         return true;
     }
 

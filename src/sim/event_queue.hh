@@ -5,6 +5,17 @@
  * A single global-ordered queue of (tick, callback) events.  Events
  * scheduled for the same tick execute in scheduling order (FIFO),
  * which keeps simulations fully deterministic.
+ *
+ * Storage layout: the binary heap holds 24-byte EventRef PODs
+ * (tick, seq, slot) while the continuations themselves live in a
+ * SlotPool slab arena addressed by slot.  Heap sift operations move
+ * only PODs, arena slots are recycled through a freelist, and the
+ * callables are allocation-free InlineFunctions — so a steady-state
+ * schedule/execute cycle touches the heap allocator exactly zero
+ * times.  Ordering is unaffected: the (tick, seq) key is identical
+ * to the pre-arena implementation, which can be re-enabled with the
+ * PEISIM_REFERENCE_QUEUE CMake option for differential testing (it
+ * stores each continuation inside its heap node, the seed layout).
  */
 
 #ifndef PEISIM_SIM_EVENT_QUEUE_HH
@@ -13,18 +24,25 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <functional>
+#include <functional> // stdfunction-allowed: cold boundary-probe hook only
 #include <stdexcept>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sim/continuation.hh"
+#include "sim/slot_pool.hh"
 
 namespace pei
 {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback type for the event-boundary probe (invariant checkers).
+ * Probes are cold (installed rarely, fire every N events) and may
+ * capture arbitrarily large checker state, so they stay type-erased
+ * on the heap rather than paying Continuation's inline budget.
+ */
+using EventFn = std::function<void()>; // stdfunction-allowed: probe hook
 
 /**
  * Thrown by the simulation-driving loops (Runtime::run) when a
@@ -48,25 +66,40 @@ class SimulationStopped : public std::runtime_error
 class EventQueue
 {
   public:
+    /**
+     * Cadence (in events) of the relaxed-atomic stopRequested() check
+     * inside run() and the other driving loops.  Checking every event
+     * taxed the hot loop for a knob that only sweep-driver timeouts
+     * ever pull; checking every 1024 events bounds cancellation
+     * latency to a still-instant ~microsecond while keeping the load
+     * off the per-event path.  Must be a power of two.
+     */
+    static constexpr std::uint64_t stop_check_interval = 1024;
+
     /** Current simulation time. */
     Tick now() const { return cur_tick; }
 
     /** Schedule @p fn to run @p delay ticks from now. */
     void
-    schedule(Ticks delay, EventFn fn)
+    schedule(Ticks delay, Continuation fn)
     {
         scheduleAt(cur_tick + delay, std::move(fn));
     }
 
     /** Schedule @p fn at absolute time @p when (>= now). */
     void
-    scheduleAt(Tick when, EventFn fn)
+    scheduleAt(Tick when, Continuation fn)
     {
         panic_if(when < cur_tick,
                  "scheduling event in the past (%llu < %llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(cur_tick));
+#ifdef PEISIM_REFERENCE_QUEUE
         events.push_back(Event{when, next_seq++, std::move(fn)});
+#else
+        const std::uint32_t slot = arena.emplace(std::move(fn));
+        events.push_back(Event{when, next_seq++, slot});
+#endif
         std::push_heap(events.begin(), events.end(), Later{});
     }
 
@@ -96,10 +129,19 @@ class EventQueue
         // moved from without casting away constness.  The callback
         // may schedule new events, so extract it fully first.
         std::pop_heap(events.begin(), events.end(), Later{});
+#ifdef PEISIM_REFERENCE_QUEUE
         Event ev = std::move(events.back());
         events.pop_back();
         cur_tick = ev.when;
         ev.fn();
+#else
+        const Event ev = events.back();
+        events.pop_back();
+        cur_tick = ev.when;
+        Continuation fn = std::move(arena[ev.slot]);
+        arena.erase(ev.slot);
+        fn();
+#endif
         ++executed_count;
         if (probe && executed_count % probe_every == 0)
             probe();
@@ -123,15 +165,16 @@ class EventQueue
 
     /**
      * Run until the queue drains, time would pass @p limit, or a
-     * stop is requested (checked at every event boundary).
+     * stop is requested (checked every stop_check_interval events).
      * @return number of events executed.
      */
     std::uint64_t
     run(Tick limit = max_tick)
     {
         std::uint64_t n = 0;
-        while (!events.empty() && events.front().when <= limit &&
-               !stopRequested()) {
+        while (!events.empty() && events.front().when <= limit) {
+            if ((n & (stop_check_interval - 1)) == 0 && stopRequested())
+                break;
             runOne();
             ++n;
         }
@@ -142,10 +185,25 @@ class EventQueue
     std::uint64_t executedCount() const { return executed_count; }
 
     /**
-     * Ask the loop driving this queue to stop at the next event
-     * boundary.  The only EventQueue operation that is safe to call
-     * from a different host thread than the one running the
-     * simulation; everything else is single-threaded.
+     * High-water continuation-arena size in slots (live + freelist);
+     * 0 under PEISIM_REFERENCE_QUEUE.  Exposes pool sizing to the
+     * hot-path benchmarks and pool-growth tests.
+     */
+    std::uint32_t
+    arenaCapacity() const
+    {
+#ifdef PEISIM_REFERENCE_QUEUE
+        return 0;
+#else
+        return arena.capacity();
+#endif
+    }
+
+    /**
+     * Ask the loop driving this queue to stop at the next
+     * stop-check boundary.  The only EventQueue operation that is
+     * safe to call from a different host thread than the one running
+     * the simulation; everything else is single-threaded.
      */
     void
     requestStop()
@@ -168,12 +226,23 @@ class EventQueue
     }
 
   private:
+#ifdef PEISIM_REFERENCE_QUEUE
+    /** Seed layout: the continuation rides inside its heap node. */
     struct Event
     {
         Tick when;
         std::uint64_t seq;
-        EventFn fn;
+        Continuation fn;
     };
+#else
+    /** POD heap node; the continuation lives in the slab arena. */
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+#endif
 
     /** Heap comparator: the earliest (tick, seq) event sits at the
      *  front of the std::*_heap-maintained vector. */
@@ -189,6 +258,9 @@ class EventQueue
     };
 
     std::vector<Event> events; ///< binary heap ordered by Later
+#ifndef PEISIM_REFERENCE_QUEUE
+    SlotPool<Continuation> arena; ///< pending-event continuations
+#endif
     Tick cur_tick = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t executed_count = 0;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Chunked slab pool with freelist reuse and stable 32-bit handles.
+ *
+ * The event queue and the transaction-record pools (HMC reads/writes,
+ * PEI pipelines, memory-side PCU operations) allocate one record per
+ * in-flight operation on the hottest paths of the simulator.  A
+ * SlotPool turns each of those allocations into a freelist pop:
+ * storage grows in fixed-size chunks that are never moved or freed
+ * until the pool is destroyed, so element addresses are stable and a
+ * steady-state schedule/execute cycle performs zero heap allocations.
+ *
+ * Handles are 32-bit indices (chunk number × chunk size + offset),
+ * cheap enough to capture in a stage lambda alongside `this` while
+ * staying far under Continuation's inline-capture budget.
+ */
+
+#ifndef PEISIM_SIM_SLOT_POOL_HH
+#define PEISIM_SIM_SLOT_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+template <typename T, unsigned ChunkSizeLog2 = 8>
+class SlotPool
+{
+  public:
+    using Handle = std::uint32_t;
+    static constexpr Handle npos = ~Handle{0};
+    static constexpr std::uint32_t chunk_size = 1u << ChunkSizeLog2;
+    static_assert(ChunkSizeLog2 >= 6 && ChunkSizeLog2 < 32,
+                  "chunk must cover at least one 64-bit liveness word");
+
+    SlotPool() = default;
+    SlotPool(const SlotPool &) = delete;
+    SlotPool &operator=(const SlotPool &) = delete;
+
+    ~SlotPool()
+    {
+        // Live slots at teardown are normal when a simulation is
+        // cancelled (timeout, fault injection) with operations still
+        // in flight; destroy them like any owning container would.
+        if (live_ == 0)
+            return;
+        for (Handle h = 0; h < bump; ++h) {
+            if (liveBit(h))
+                reinterpret_cast<T *>(slot(h).storage)->~T();
+        }
+    }
+
+    /** Construct a T in a free slot; returns its handle. */
+    template <typename... CtorArgs>
+    Handle
+    emplace(CtorArgs &&...args)
+    {
+        Handle h;
+        if (free_head != npos) {
+            h = free_head;
+            Slot &s = slot(h);
+            free_head = s.next_free;
+            ::new (static_cast<void *>(s.storage))
+                T(std::forward<CtorArgs>(args)...);
+        } else {
+            if (bump == limit) {
+                chunks.push_back(std::make_unique<Slot[]>(chunk_size));
+                live_bits.resize(live_bits.size() + chunk_size / 64, 0);
+                limit += chunk_size;
+            }
+            h = bump++;
+            ::new (static_cast<void *>(slot(h).storage))
+                T(std::forward<CtorArgs>(args)...);
+        }
+        live_bits[h >> 6] |= std::uint64_t{1} << (h & 63);
+        ++live_;
+        return h;
+    }
+
+    /** The element behind @p h (must be live). */
+    T &
+    operator[](Handle h)
+    {
+#ifndef NDEBUG
+        panic_if(!liveBit(h), "SlotPool access to dead handle %u", h);
+#endif
+        return *reinterpret_cast<T *>(slot(h).storage);
+    }
+
+    /** Destroy the element behind @p h and recycle its slot. */
+    void
+    erase(Handle h)
+    {
+#ifndef NDEBUG
+        panic_if(!liveBit(h), "SlotPool erase of dead handle %u", h);
+#endif
+        Slot &s = slot(h);
+        reinterpret_cast<T *>(s.storage)->~T();
+        live_bits[h >> 6] &= ~(std::uint64_t{1} << (h & 63));
+        s.next_free = free_head;
+        free_head = h;
+        --live_;
+    }
+
+    /** Number of live elements. */
+    std::uint64_t liveCount() const { return live_; }
+
+    /** High-water slot count (allocated storage, in elements). */
+    std::uint32_t capacity() const { return limit; }
+
+  private:
+    union Slot
+    {
+        alignas(T) unsigned char storage[sizeof(T)];
+        Handle next_free;
+    };
+
+    Slot &
+    slot(Handle h)
+    {
+        return chunks[h >> ChunkSizeLog2][h & (chunk_size - 1)];
+    }
+
+    bool
+    liveBit(Handle h) const
+    {
+        return (live_bits[h >> 6] >> (h & 63)) & 1;
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::vector<std::uint64_t> live_bits; ///< one bit per slot
+    Handle free_head = npos;
+    std::uint32_t bump = 0;  ///< next never-used slot
+    std::uint32_t limit = 0; ///< total slots across chunks
+    std::uint64_t live_ = 0;
+};
+
+} // namespace pei
+
+#endif // PEISIM_SIM_SLOT_POOL_HH

@@ -17,10 +17,51 @@
 #include <exception>
 #include <utility>
 
+#ifndef NDEBUG
+#include <unordered_set>
+#endif
+
 #include "event_queue.hh"
 
 namespace pei
 {
+
+#ifndef NDEBUG
+namespace detail
+{
+
+/**
+ * Debug-build registry of live Task coroutine frames.  Frames are
+ * registered at creation and removed when the promise is destroyed;
+ * resumeLive() consults it to catch the classic discrete-event bug
+ * of a scheduled resumption outliving its coroutine.
+ */
+inline std::unordered_set<void *> &
+liveFrames()
+{
+    static thread_local std::unordered_set<void *> frames;
+    return frames;
+}
+
+} // namespace detail
+#endif
+
+/**
+ * Resume @p h, asserting (debug builds) that the frame is a live
+ * Task frame — i.e. it was created by a Task coroutine and has not
+ * been destroyed.  All scheduled resumptions route through here so a
+ * dangling event can never silently resume freed memory.
+ */
+inline void
+resumeLive(std::coroutine_handle<> h)
+{
+#ifndef NDEBUG
+    panic_if(detail::liveFrames().count(h.address()) == 0,
+             "resuming a destroyed (or non-Task) coroutine frame %p",
+             h.address());
+#endif
+    h.resume();
+}
 
 /**
  * Eager, fire-on-create coroutine task.  The owner must keep the Task
@@ -36,12 +77,25 @@ class Task
     {
         std::coroutine_handle<> continuation;
         bool finished = false;
+        /** Incremented on completion if set (Runtime's O(1) allDone). */
+        std::uint64_t *finish_counter = nullptr;
 
         Task
         get_return_object()
         {
+#ifndef NDEBUG
+            detail::liveFrames().insert(
+                Handle::from_promise(*this).address());
+#endif
             return Task(Handle::from_promise(*this));
         }
+
+#ifndef NDEBUG
+        ~promise_type()
+        {
+            detail::liveFrames().erase(Handle::from_promise(*this).address());
+        }
+#endif
 
         std::suspend_never initial_suspend() noexcept { return {}; }
 
@@ -53,6 +107,8 @@ class Task
             await_suspend(Handle h) noexcept
             {
                 h.promise().finished = true;
+                if (auto *counter = h.promise().finish_counter)
+                    ++*counter;
                 auto cont = h.promise().continuation;
                 return cont ? cont : std::noop_coroutine();
             }
@@ -87,6 +143,21 @@ class Task
 
     /** True once the coroutine ran to completion. */
     bool done() const { return !handle || handle.promise().finished; }
+
+    /**
+     * Arrange for @p counter to be incremented when this task
+     * finishes (immediately if it already has).  Lets owners of many
+     * tasks answer "are all done?" in O(1) instead of scanning.  The
+     * counter must outlive the coroutine frame.
+     */
+    void
+    countFinish(std::uint64_t &counter)
+    {
+        if (done())
+            ++counter;
+        else
+            handle.promise().finish_counter = &counter;
+    }
 
     // Awaitable interface: co_await task waits for its completion.
     bool await_ready() const { return done(); }
@@ -123,7 +194,7 @@ class DelayAwaiter
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        eq.schedule(delay, [h] { h.resume(); });
+        eq.schedule(delay, Continuation([h] { resumeLive(h); }));
     }
 
     void await_resume() {}

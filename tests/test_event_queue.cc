@@ -1,14 +1,22 @@
 /**
  * @file
  * Unit tests for the discrete-event engine: ordering, determinism,
- * and coroutine plumbing.
+ * and coroutine plumbing — including op-for-op equivalence of the
+ * slab-arena queue against a naive std::function reference queue,
+ * stop-request cancellation latency, and the inline-continuation /
+ * slot-pool building blocks.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional> // stdfunction-allowed: naive reference queue under test
+#include <string>
 #include <vector>
 
+#include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/slot_pool.hh"
 #include "sim/task.hh"
 
 namespace pei
@@ -86,6 +94,220 @@ TEST(EventQueue, CountsExecuted)
     EXPECT_EQ(eq.executedCount(), 42u);
 }
 
+TEST(EventQueue, StopRequestHonoredWithinCadence)
+{
+    // Cancellation latency is bounded: run() polls the stop flag
+    // every stop_check_interval events, so at most one full interval
+    // executes after the request lands.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    const std::uint64_t total = 8 * EventQueue::stop_check_interval;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        eq.schedule(1, [&eq, &fired] {
+            ++fired;
+            if (fired == 123)
+                eq.requestStop();
+        });
+    }
+    eq.run();
+    EXPECT_GE(fired, 123u);
+    EXPECT_LE(fired, 123 + EventQueue::stop_check_interval);
+    eq.clearStopRequest();
+    eq.run();
+    EXPECT_EQ(fired, total);
+}
+
+/**
+ * The pre-refactor event queue, reimplemented naively: a binary heap
+ * of fat nodes each holding a std::function.  Used as the ordering
+ * oracle for the slab-arena queue — both are driven op-for-op below
+ * and must execute identical sequences.
+ */
+class NaiveReferenceQueue
+{
+  public:
+    Tick now() const { return cur_tick; }
+
+    void
+    schedule(Ticks delay, std::function<void()> fn)
+    {
+        events.push_back(Ev{cur_tick + delay, next_seq++, std::move(fn)});
+        std::push_heap(events.begin(), events.end(), Later{});
+    }
+
+    bool
+    runOne()
+    {
+        if (events.empty())
+            return false;
+        std::pop_heap(events.begin(), events.end(), Later{});
+        Ev ev = std::move(events.back());
+        events.pop_back();
+        cur_tick = ev.when;
+        ev.fn();
+        return true;
+    }
+
+    std::uint64_t
+    run()
+    {
+        std::uint64_t n = 0;
+        while (runOne())
+            ++n;
+        return n;
+    }
+
+    bool empty() const { return events.empty(); }
+
+  private:
+    struct Ev
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Ev &a, const Ev &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Ev> events;
+    Tick cur_tick = 0;
+    std::uint64_t next_seq = 0;
+};
+
+/**
+ * Deterministic event cascade: each event logs its id and spawns
+ * children by fixed arithmetic rules, mixing same-tick (delay 0)
+ * bursts with short delays so FIFO tie-breaking, nested scheduling,
+ * and slab-slot reuse all get exercised.
+ */
+template <typename Queue>
+void
+spawnCascade(Queue &q, std::vector<std::uint64_t> &log, std::uint64_t id,
+             int depth)
+{
+    q.schedule(id % 5, [&q, &log, id, depth] {
+        log.push_back(id);
+        if (depth < 3 && id % 3 == 0)
+            spawnCascade(q, log, id * 7 + 1, depth + 1);
+        if (depth < 3 && id % 4 == 1)
+            spawnCascade(q, log, id * 11 + 2, depth + 1);
+    });
+}
+
+TEST(EventQueue, MatchesNaiveReferenceQueueOpForOp)
+{
+    EventQueue arena_q;
+    NaiveReferenceQueue naive_q;
+    std::vector<std::uint64_t> arena_log, naive_log;
+
+    // Several rounds of wide same-tick bursts with partial drains in
+    // between: the arena queue cycles slots through its freelist and
+    // grows past one chunk while the naive queue heap-allocates every
+    // closure.  Their execution orders must stay identical.
+    std::uint64_t id = 1;
+    for (int round = 0; round < 6; ++round) {
+        const int burst = 300 + 100 * round; // up to 800 > one chunk
+        for (int i = 0; i < burst; ++i, ++id) {
+            spawnCascade(arena_q, arena_log, id, 0);
+            spawnCascade(naive_q, naive_log, id, 0);
+        }
+        // Partial drain so later rounds reuse freed slots mid-heap.
+        for (int i = 0; i < burst / 2; ++i) {
+            arena_q.runOne();
+            naive_q.runOne();
+        }
+        ASSERT_EQ(arena_log, naive_log) << "diverged in round " << round;
+    }
+    while (arena_q.runOne()) {}
+    naive_q.run();
+
+    EXPECT_EQ(arena_log, naive_log);
+    EXPECT_EQ(arena_q.now(), naive_q.now());
+#ifndef PEISIM_REFERENCE_QUEUE
+    // The bursts above outgrow a single 256-slot chunk, so slab
+    // growth (not just first-chunk reuse) is covered.
+    EXPECT_GT(arena_q.arenaCapacity(), 256u);
+#endif
+}
+
+TEST(SlotPool, HandlesAreStableAndFreelistRecycles)
+{
+    SlotPool<std::string> pool;
+    std::vector<std::uint32_t> handles;
+    for (int i = 0; i < 600; ++i) // forces multi-chunk growth
+        handles.push_back(pool.emplace("v" + std::to_string(i)));
+    EXPECT_EQ(pool.liveCount(), 600u);
+    EXPECT_GE(pool.capacity(), 600u);
+
+    std::string &anchor = pool[handles[5]];
+    for (int i = 100; i < 200; ++i)
+        pool.erase(handles[i]);
+    // Freed slots are recycled before any new chunk is allocated.
+    const std::uint32_t before = pool.capacity();
+    for (int i = 0; i < 100; ++i)
+        pool.emplace("recycled");
+    EXPECT_EQ(pool.capacity(), before);
+    // Chunked storage never relocates: the reference from before the
+    // churn still addresses the same element.
+    EXPECT_EQ(&anchor, &pool[handles[5]]);
+    EXPECT_EQ(anchor, "v5");
+}
+
+TEST(SlotPool, DestroysLiveSlotsAtTeardown)
+{
+    // Cancelled simulations tear pools down with transactions still
+    // parked; their elements must still be destroyed exactly once.
+    int destroyed = 0;
+    struct Probe
+    {
+        int *counter;
+        ~Probe() { ++*counter; }
+    };
+    {
+        SlotPool<Probe> pool;
+        pool.emplace(Probe{&destroyed});
+        destroyed = 0; // ignore temporaries from emplace-by-move
+        const auto h = pool.emplace(Probe{&destroyed});
+        destroyed = 0;
+        pool.erase(h);
+        EXPECT_EQ(destroyed, 1);
+        destroyed = 0;
+    }
+    EXPECT_EQ(destroyed, 1); // the still-live first slot
+}
+
+TEST(Continuation, MoveTransfersOwnership)
+{
+    int fired = 0;
+    Continuation a([&fired] { ++fired; });
+    EXPECT_TRUE(static_cast<bool>(a));
+    Continuation b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    b();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Continuation, FitsDocumentedBudgetAndForwardsArgs)
+{
+    // 48-byte budget: six pointer-sized captures fit exactly.
+    void *p[6] = {};
+    Continuation full([p] { (void)p; });
+    full();
+
+    InlineFunction<int(int), 16> addk(
+        [base = 40](int x) { return base + x; });
+    EXPECT_EQ(addk(2), 42);
+}
+
 Task
 simpleCoro(EventQueue &eq, int &stage)
 {
@@ -148,6 +370,25 @@ TEST(Task, ZeroDelayAwaitIsReady)
     EXPECT_TRUE(t.done());
     EXPECT_TRUE(eq.empty());
 }
+
+#ifndef NDEBUG
+TEST(TaskDeathTest, ResumingDestroyedFrameIsCaught)
+{
+    // Classic discrete-event lifetime bug: an event holding a
+    // coroutine resumption outlives the coroutine.  Debug builds
+    // route every scheduled resumption through resumeLive(), which
+    // panics instead of resuming freed memory.
+    EventQueue eq;
+    {
+        auto coro = [](EventQueue &q) -> Task {
+            co_await DelayAwaiter(q, 5);
+        };
+        Task t = coro(eq);
+        EXPECT_FALSE(t.done());
+    } // frame destroyed; its resumption is still scheduled
+    EXPECT_DEATH(eq.run(), "destroyed");
+}
+#endif
 
 } // namespace
 } // namespace pei

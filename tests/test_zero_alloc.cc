@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Counting-allocator tests proving the event & continuation plumbing
+ * is allocation-free in steady state.
+ *
+ * This executable replaces global operator new/delete with counting
+ * wrappers and measures allocation deltas across event-boundary
+ * windows:
+ *
+ *  - a bare EventQueue schedule/run storm must perform exactly zero
+ *    heap allocations once the slab arena has grown to its working
+ *    size;
+ *  - a Host-only, L1-resident blocking-PEI segment through the full
+ *    stack (core window -> TLB -> PMU -> directory -> PCU -> cache
+ *    hierarchy -> coroutine resume) must also reach exact zero per
+ *    steady-state window, because every per-operation record lives
+ *    in a SlotPool and every callback is an inline Continuation;
+ *  - a miss-heavy locality-aware segment (the fig06-small regime)
+ *    is bounded loosely instead: DRAM vault request deques and MSHR
+ *    map nodes still allocate per miss by design, but the rate must
+ *    stay far below one allocation per event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.hh"
+#include "runtime/runtime.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+std::uint64_t
+allocCount()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     (size + static_cast<std::size_t>(align) -
+                                      1) &
+                                         ~(static_cast<std::size_t>(align) -
+                                           1)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace pei
+{
+namespace
+{
+
+TEST(ZeroAlloc, EventQueueSteadyStateAllocatesNothing)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    auto burst = [&] {
+        for (int i = 0; i < 256; ++i)
+            eq.schedule(static_cast<Ticks>(i % 7), [&sink] { ++sink; });
+        eq.run();
+    };
+    // Warm up: grow the slab arena and the heap vector to their
+    // steady working size.
+    for (int w = 0; w < 64; ++w)
+        burst();
+
+    const std::uint64_t before = allocCount();
+    for (int w = 0; w < 4096; ++w) // ~1M events
+        burst();
+    EXPECT_EQ(allocCount() - before, 0u)
+        << "bare schedule/run cycles must reuse arena slots";
+    EXPECT_EQ(sink, (64u + 4096u) * 256u);
+}
+
+/**
+ * Free-function kernel (not a capturing lambda coroutine, whose
+ * frame would dangle once the lambda object dies): a long stream of
+ * blocking Inc64 PEIs over an array small enough to stay L1-resident,
+ * so the whole pipeline runs at full depth with no cache misses.
+ */
+Task
+l1ResidentStorm(Ctx &ctx, Addr array, std::uint64_t n, int ops)
+{
+    Rng rng(42);
+    for (int i = 0; i < ops; ++i) {
+        co_await ctx.pei(PeiOpcode::Inc64, array + 8 * rng.below(n),
+                         nullptr, 0);
+    }
+    co_await ctx.pfence();
+    co_await ctx.drain();
+}
+
+TEST(ZeroAlloc, HostOnlyL1ResidentPeiPipelineIsAllocationFree)
+{
+    SystemConfig cfg = SystemConfig::scaled(ExecMode::HostOnly);
+    cfg.cores = 1;
+    cfg.phys_bytes = 64ULL << 20;
+    cfg.hmc.num_cubes = 1;
+    cfg.hmc.vaults_per_cube = 4;
+    System sys(cfg);
+    Runtime rt(sys);
+
+    // 2 KB working set inside a 16 KB L1: after the first touch of
+    // each block, every access hits L1.
+    constexpr std::uint64_t n = 256;
+    const Addr array = rt.allocArray<std::uint64_t>(n);
+
+    std::vector<std::uint64_t> marks;
+    marks.reserve(4096);
+    constexpr std::uint64_t window = 8192;
+    sys.eventQueue().setBoundaryProbe(
+        [&marks] { marks.push_back(allocCount()); }, window);
+
+    rt.spawn(0, [&](Ctx &ctx) {
+        return l1ResidentStorm(ctx, array, n, 60000);
+    });
+    rt.run();
+
+    ASSERT_GE(marks.size(), 24u) << "segment too short to have windows";
+    // Skip the warm-up half (cold caches, pools and per-entry vectors
+    // still growing) and the trailing windows (pfence/drain/teardown
+    // edge); every steady-state window must be allocation-free.
+    const std::size_t lo = marks.size() / 2;
+    const std::size_t hi = marks.size() - 2;
+    for (std::size_t i = lo; i < hi; ++i) {
+        EXPECT_EQ(marks[i + 1] - marks[i], 0u)
+            << "window " << i << " of " << marks.size()
+            << " allocated on the steady-state PEI path";
+    }
+}
+
+/** Miss-heavy kernel: async PEIs striding far beyond every cache. */
+Task
+missHeavyStorm(Ctx &ctx, Addr array, std::uint64_t n, unsigned tid,
+               int ops)
+{
+    Rng rng(1000 + tid);
+    for (int i = 0; i < ops; ++i)
+        co_await ctx.inc64(array + 8 * rng.below(n));
+    co_await ctx.pfence();
+    co_await ctx.drain();
+}
+
+TEST(ZeroAlloc, MissHeavySegmentStaysFarBelowOneAllocPerEvent)
+{
+    // The fig06-small regime: a locality-aware machine with a working
+    // set far past L3, so PEIs split between host execution (cache
+    // misses -> MSHR map nodes) and memory-side offload (vault
+    // request deques).  Those residual containers allocate per miss
+    // by design; the refactor's claim here is a rate bound, not
+    // exact zero.
+    SystemConfig cfg = SystemConfig::scaled(ExecMode::LocalityAware);
+    cfg.cores = 4;
+    cfg.phys_bytes = 256ULL << 20;
+    cfg.cache.l3_bytes = 256 << 10;
+    cfg.hmc.vaults_per_cube = 4;
+    System sys(cfg);
+    Runtime rt(sys);
+
+    constexpr std::uint64_t n = 1 << 18; // 2 MB >> 256 KB L3
+    const Addr array = rt.allocArray<std::uint64_t>(n);
+    rt.spawnThreads(cfg.cores,
+                    [&](Ctx &ctx, unsigned tid, unsigned) -> Task {
+                        return missHeavyStorm(ctx, array, n, tid, 20000);
+                    });
+
+    const std::uint64_t allocs_before = allocCount();
+    const std::uint64_t events_before = sys.eventQueue().executedCount();
+    rt.run();
+    const double allocs =
+        static_cast<double>(allocCount() - allocs_before);
+    const double events = static_cast<double>(
+        sys.eventQueue().executedCount() - events_before);
+    ASSERT_GT(events, 100000.0);
+    EXPECT_LT(allocs / events, 0.2)
+        << allocs << " allocations over " << events << " events";
+}
+
+} // namespace
+} // namespace pei

@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Fail if std::function creeps back into the scheduling paths.
+#
+# The event & continuation refactor replaced every scheduling/callback
+# seam in src/sim, src/cache, src/mem and src/pim with inline-storage
+# pei::Continuation / InlineFunction types; a std::function there
+# reintroduces a heap allocation per event.  Deliberately cold uses
+# (the event-boundary probe hook, stats invariants) carry a
+# `stdfunction-allowed:` comment on the same line or the line above.
+#
+# Usage: tools/check_scheduling_std_function.sh [repo-root]
+
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root"
+
+status=0
+for dir in src/sim src/cache src/mem src/pim; do
+    # `grep -n` per file keeps the output clickable; a match is only
+    # a violation when neither its own line nor the preceding line
+    # carries the stdfunction-allowed tag.
+    for f in $(grep -rl 'std::function' "$dir" 2>/dev/null || true); do
+        violations=$(awk '
+            /stdfunction-allowed:/ { allow = NR + 1 }
+            /^[[:space:]]*(\*|\/\/|\/\*)/ { next } # prose in comments
+            /std::function/ && NR > allow {
+                print FILENAME ":" NR ": " $0
+            }
+        ' "$f")
+        if [ -n "$violations" ]; then
+            echo "$violations"
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -ne 0 ]; then
+    echo ""
+    echo "error: untagged std::function on a scheduling path." >&2
+    echo "Use pei::Continuation / pei::InlineFunction, or tag a" >&2
+    echo "deliberately cold use with a 'stdfunction-allowed: <why>'" >&2
+    echo "comment on the same or preceding line." >&2
+    exit 1
+fi
+echo "check_scheduling_std_function: OK"
