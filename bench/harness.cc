@@ -62,6 +62,10 @@ flushAtExit()
 RunHandle
 submitJob(const std::string &label, SimJob &&sim)
 {
+    // --mem-backend applies to every submitted simulation (custom
+    // jobs construct their own Systems and opt in themselves).
+    if (sim.mem_backend.empty())
+        sim.mem_backend = sweep_opts.mem_backend;
     return sweep.add(label, [sim = std::move(sim)](JobCtx &ctx) {
         const std::size_t idx = ctx.index();
         results[idx] = runSimJob(sim, ctx);

@@ -19,6 +19,14 @@
  * `--hotpath-only` skips the google-benchmark section so CI's
  * perf-smoke job stays fast).  The committed BENCH_hotpath.json at
  * the repo root is the baseline that job diffs against.
+ *
+ * Finally it probes every registered memory backend (hmc, ddr,
+ * ideal) with the same deterministic block-access stream and writes
+ * the per-backend idle and loaded latencies — in simulated ticks, so
+ * the numbers are machine-independent — to BENCH_membackend.json
+ * (`--membackend-json <path>` overrides, `--membackend-only` runs
+ * just this section).  The committed file is the regression
+ * baseline: it only moves when a backend's timing model changes.
  */
 
 #include <benchmark/benchmark.h>
@@ -35,6 +43,8 @@
 #include "cache/cache_array.hh"
 #include "common/bitutil.hh"
 #include "common/rng.hh"
+#include "mem/backend.hh"
+#include "mem/backend_config.hh"
 #include "mem/dram.hh"
 #include "mem/vmem.hh"
 #include "pim/locality_monitor.hh"
@@ -481,6 +491,97 @@ writeHotpathJson(const std::string &path)
     std::printf("stats-v2: wrote %s\n", path.c_str());
 }
 
+// ---- per-backend access latency (BENCH_membackend.json) ----
+
+/** Tick-deterministic latency profile of one memory backend. */
+struct BackendProfile
+{
+    std::string name;
+    Ticks read_idle_ticks = 0;   ///< lone read round trip
+    Ticks write_idle_ticks = 0;  ///< lone (acknowledged) write
+    double burst16_avg_ticks = 0.0; ///< mean over 64x 16-deep bursts
+};
+
+/**
+ * Probe @p name with a fixed block-access stream.  Fresh EventQueue
+ * and StatRegistry per backend so stat names cannot collide and no
+ * state leaks between probes; all metrics are simulated ticks, so
+ * two runs of the same binary agree byte-for-byte.
+ */
+BackendProfile
+profileBackend(const std::string &name)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    MemBackendConfig cfg;
+    cfg.phys_bytes = 64ULL << 20;
+    std::unique_ptr<MemoryBackend> mem =
+        createMemoryBackend(name, eq, cfg, stats);
+
+    BackendProfile p;
+    p.name = name;
+
+    const auto timed = [&](bool write) {
+        const Tick start = eq.now();
+        Tick done = start;
+        if (write)
+            mem->writeBlock(0, [&eq, &done] { done = eq.now(); });
+        else
+            mem->readBlock(0, [&eq, &done] { done = eq.now(); });
+        eq.run();
+        return static_cast<Ticks>(done - start);
+    };
+    p.read_idle_ticks = timed(false);
+    p.write_idle_ticks = timed(true);
+
+    // 64 bursts of 16 outstanding reads striding blocks: enough
+    // overlap to expose banking/queueing without overrunning any
+    // backend's buffering model.
+    std::uint64_t total_wait = 0;
+    Addr a = 0;
+    for (int burst = 0; burst < 64; ++burst) {
+        const Tick issue = eq.now();
+        for (int i = 0; i < 16; ++i) {
+            mem->readBlock(a % cfg.phys_bytes,
+                           [&eq, &total_wait, issue] {
+                               total_wait += eq.now() - issue;
+                           });
+            a += block_size * 129; // co-prime stride spreads banks
+        }
+        eq.run();
+    }
+    p.burst16_avg_ticks = static_cast<double>(total_wait) / (64 * 16);
+    return p;
+}
+
+/** Profile every registered backend and write the JSON baseline. */
+void
+writeMemBackendJson(const std::string &path)
+{
+    std::ostringstream os;
+    os << "{\"tool\":\"micro_substrate_membackend\",\"backends\":[";
+    bool first = true;
+    for (const std::string &name : memoryBackendNames()) {
+        const BackendProfile p = profileBackend(name);
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << p.name << "\",\"read_idle_ticks\":"
+           << p.read_idle_ticks << ",\"write_idle_ticks\":"
+           << p.write_idle_ticks << ",\"burst16_avg_ticks\":"
+           << p.burst16_avg_ticks << "}";
+        std::printf("membackend: %-5s read %llu write %llu "
+                    "burst16-avg %.1f (ticks)\n",
+                    p.name.c_str(),
+                    (unsigned long long)p.read_idle_ticks,
+                    (unsigned long long)p.write_idle_ticks,
+                    p.burst16_avg_ticks);
+    }
+    os << "]}";
+    writeStatsJson(path, os.str());
+    std::printf("stats-v2: wrote %s\n", path.c_str());
+}
+
 /**
  * Run a small locality-aware simulation so the substrate summary
  * also carries a full stats-v2 run record (PEI latency histograms,
@@ -523,7 +624,9 @@ main(int argc, char **argv)
     // Peel off our own flags before google-benchmark sees the args.
     std::string out_path = PEISIM_ROOT "/BENCH_substrate.json";
     std::string hotpath_path = PEISIM_ROOT "/BENCH_hotpath.json";
+    std::string membackend_path = PEISIM_ROOT "/BENCH_membackend.json";
     bool hotpath_only = false;
+    bool membackend_only = false;
     std::vector<char *> bm_argv;
     for (int i = 0; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
@@ -546,7 +649,24 @@ main(int argc, char **argv)
             hotpath_only = true;
             continue;
         }
+        if (std::strcmp(argv[i], "--membackend-json") == 0 &&
+            i + 1 < argc) {
+            membackend_path = argv[++i];
+            continue;
+        }
+        if (std::strncmp(argv[i], "--membackend-json=", 18) == 0) {
+            membackend_path = argv[i] + 18;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--membackend-only") == 0) {
+            membackend_only = true;
+            continue;
+        }
         bm_argv.push_back(argv[i]);
+    }
+    if (membackend_only) {
+        writeMemBackendJson(membackend_path);
+        return 0;
     }
     if (hotpath_only) {
         writeHotpathJson(hotpath_path);
@@ -576,5 +696,6 @@ main(int argc, char **argv)
     std::printf("stats-v2: wrote %s\n", out_path.c_str());
 
     writeHotpathJson(hotpath_path);
+    writeMemBackendJson(membackend_path);
     return 0;
 }

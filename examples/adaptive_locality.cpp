@@ -66,7 +66,7 @@ main(int argc, char **argv)
                     (unsigned long long)(ticks / 1000),
                     100.0 * static_cast<double>(sys.pmu().peisMem()) /
                         total,
-                    static_cast<double>(sys.hmc().offChipBytes()) /
+                    static_cast<double>(sys.mem().offChipBytes()) /
                         1e6);
     }
 

@@ -76,7 +76,7 @@ main(int argc, char **argv)
                     execModeName(mode),
                     (unsigned long long)(ticks / 1000),
                     base / static_cast<double>(ticks),
-                    static_cast<double>(sys.hmc().offChipBytes()) / 1e6,
+                    static_cast<double>(sys.mem().offChipBytes()) / 1e6,
                     peis > 0 ? 100.0 *
                                    static_cast<double>(
                                        sys.pmu().peisMem()) /

@@ -78,6 +78,6 @@ main(int argc, char **argv)
     std::printf("  offloaded to memory-side   : %llu\n",
                 (unsigned long long)sys.pmu().peisMem());
     std::printf("  off-chip traffic           : %.2f MB\n",
-                static_cast<double>(sys.hmc().offChipBytes()) / 1e6);
+                static_cast<double>(sys.mem().offChipBytes()) / 1e6);
     return total == 20000ull * sys.numCores() ? 0 : 1;
 }

@@ -21,9 +21,9 @@ hasWritePerm(MesiState s)
 } // namespace
 
 CacheHierarchy::CacheHierarchy(EventQueue &eq, const CacheConfig &cfg,
-                               unsigned cores, HmcController &hmc,
+                               unsigned cores, MemoryBackend &mem,
                                StatRegistry &stats)
-    : eq(eq), cfg(cfg), hmc(hmc), l3(cfg.l3_bytes, cfg.l3_ways),
+    : eq(eq), cfg(cfg), mem(mem), l3(cfg.l3_bytes, cfg.l3_ways),
       core_mshrs(cores), core_stalled(cores)
 {
     fatal_if(cores == 0 || cores > 32, "unsupported core count %u", cores);
@@ -265,7 +265,7 @@ CacheHierarchy::accessL3(std::uint32_t req)
     }
     l3_mshrs.emplace(block, Mshr{});
 
-    hmc.readBlock(accesses[req].paddr, [this, req] { l3FetchDone(req); });
+    mem.readBlock(accesses[req].paddr, [this, req] { l3FetchDone(req); });
 }
 
 void
@@ -398,7 +398,7 @@ CacheHierarchy::insertL3(Addr block)
         }
         if (dirty) {
             ++stat_writebacks_mem;
-            hmc.writeBlock(vblock << block_shift);
+            mem.writeBlock(vblock << block_shift);
         }
     }
     l3.fill(v, block, MesiState::Invalid);
@@ -443,7 +443,7 @@ CacheHierarchy::backInvalidate(Addr paddr, Callback cb)
     }
     if (dirty) {
         ++stat_writebacks_mem;
-        hmc.writeBlock(paddr);
+        mem.writeBlock(paddr);
     }
     eq.schedule(cfg.l3_latency, std::move(cb));
 }
@@ -482,7 +482,7 @@ CacheHierarchy::backWriteback(Addr paddr, Callback cb)
             line->dirty = false;
             mem_write = true;
             ++stat_writebacks_mem;
-            hmc.writeBlock(paddr);
+            mem.writeBlock(paddr);
         }
     }
     (void)mem_write;

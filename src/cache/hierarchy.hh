@@ -30,7 +30,7 @@
 #include "cache/cache_array.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "mem/hmc.hh"
+#include "mem/backend.hh"
 #include "sim/continuation.hh"
 #include "sim/event_queue.hh"
 #include "sim/slot_pool.hh"
@@ -70,7 +70,7 @@ class CacheHierarchy
     using L3Listener = InlineFunction<void(Addr), 16>;
 
     CacheHierarchy(EventQueue &eq, const CacheConfig &cfg, unsigned cores,
-                   HmcController &hmc, StatRegistry &stats);
+                   MemoryBackend &mem, StatRegistry &stats);
 
     /**
      * Timing access from @p core (a demand load/store or a host-side
@@ -212,7 +212,7 @@ class CacheHierarchy
 
     EventQueue &eq;
     CacheConfig cfg;
-    HmcController &hmc;
+    MemoryBackend &mem;
 
     std::vector<PrivateCaches> privs;
     CacheArray l3;

@@ -63,6 +63,16 @@ fuzzConfig(unsigned config_index, std::uint64_t master_seed, ExecMode mode)
 
     cfg.core.window = rng.chance(0.5) ? 16 : 64;
     cfg.pim.balanced_dispatch = rng.chance(0.5);
+
+    // Backend draw comes last so the earlier draw sequence (and thus
+    // every pre-existing fuzzed geometry) is unchanged.  hmc appears
+    // twice: it has the most machinery to exercise.
+    static const char *const kinds[] = {"hmc", "ddr", "ideal", "hmc"};
+    cfg.mem_backend = kinds[rng.below(4)];
+    // The alternative backends mirror the drawn vault count so case
+    // behavior is comparable across backends.
+    cfg.ddr.channels = cfg.hmc.vaults_per_cube;
+    cfg.ideal_mem.pim_units = cfg.hmc.vaults_per_cube;
     return cfg;
 }
 
@@ -148,7 +158,12 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
            ExecMode mode, const FuzzCaseId &id, const FuzzOptions &opt,
            JobCtx *jctx)
 {
-    System sys(fuzzConfig(id.config, opt.master_seed, mode));
+    SystemConfig cfg = fuzzConfig(id.config, opt.master_seed, mode);
+    if (!opt.backend.empty())
+        cfg.mem_backend = opt.backend;
+    if (!id.backend.empty())
+        cfg.mem_backend = id.backend; // a pinned reproducer wins
+    System sys(cfg);
     std::optional<WatchGuard> guard;
     if (jctx)
         guard.emplace(*jctx, sys.eventQueue());
@@ -233,7 +248,8 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
                             std::to_string(sys.pmu().peisMem()) +
                             " PEI(s) in memory");
     }
-    if (mode == ExecMode::PimOnly && sys.pmu().peisHost() != 0) {
+    if (mode == ExecMode::PimOnly && sys.mem().supportsPim() &&
+        sys.pmu().peisHost() != 0) {
         throw FuzzViolation("mode sanity: PIM-Only executed " +
                             std::to_string(sys.pmu().peisHost()) +
                             " PEI(s) on the host");
@@ -282,6 +298,8 @@ FuzzCaseResult::summary() const
         return "";
     std::ostringstream os;
     os << "case seed=" << hex(id.seed) << " config=" << id.config;
+    if (!id.backend.empty())
+        os << " backend=" << id.backend;
     if (id.prefix != full_prefix)
         os << " prefix=" << id.prefix;
     if (id.thread_mask != 0xffffffffu)
@@ -298,6 +316,18 @@ runFuzzCase(const FuzzCaseId &id, const FuzzOptions &opt, JobCtx *ctx)
 {
     FuzzCaseResult res;
     res.id = id;
+
+    // Pin the effective backend into the result's identity so any
+    // reproducer replays on the same backend regardless of future
+    // changes to the drawing scheme.
+    if (res.id.backend.empty()) {
+        res.id.backend =
+            !opt.backend.empty()
+                ? opt.backend
+                : fuzzConfig(id.config, opt.master_seed,
+                             ExecMode::HostOnly)
+                      .mem_backend;
+    }
 
     const FuzzProgram prog =
         generateProgram(id.seed, id.prefix, id.thread_mask);
@@ -412,6 +442,8 @@ replayFileContents(const FuzzCaseId &id, const FuzzOptions &opt)
     else
         os << "prefix=" << id.prefix << "\n";
     os << "thread_mask=" << hex(id.thread_mask) << "\n";
+    if (!id.backend.empty())
+        os << "backend=" << id.backend << "\n";
     return os.str();
 }
 
@@ -460,6 +492,8 @@ parseReplayFile(const std::string &text, FuzzCaseId &id, FuzzOptions &opt)
             } else if (key == "thread_mask") {
                 id.thread_mask = static_cast<std::uint32_t>(
                     std::stoul(value, nullptr, 0));
+            } else if (key == "backend") {
+                id.backend = value;
             } else {
                 return false;
             }
@@ -480,6 +514,8 @@ replayCommand(const FuzzCaseId &id, const FuzzOptions &opt)
         os << " --replay-prefix " << id.prefix;
     if (id.thread_mask != 0xffffffffu)
         os << " --replay-mask " << hex(id.thread_mask);
+    if (!id.backend.empty())
+        os << " --replay-backend " << id.backend;
     os << " --master-seed " << opt.master_seed << " --configs "
        << opt.num_configs;
     if (opt.inject != InjectBug::None)

@@ -34,6 +34,13 @@ struct FuzzCaseId
     unsigned config = 0;     ///< fuzzed-config index
     std::size_t prefix = full_prefix;
     std::uint32_t thread_mask = 0xffffffffu;
+    /**
+     * Memory backend the case ran on.  Empty = whatever fuzzConfig
+     * draws for @ref config; runFuzzCase pins the effective choice
+     * here so reproducers replay on the same backend even if the
+     * drawing scheme changes later.
+     */
+    std::string backend;
 };
 
 /** Hidden fault injections validating the checker itself. */
@@ -53,6 +60,8 @@ struct FuzzOptions
     unsigned num_configs = 4;     ///< fuzzed SystemConfigs in rotation
     std::uint64_t probe_every = 64; ///< probe cadence in events
     InjectBug inject = InjectBug::None;
+    /** Force every case onto one backend; empty = fuzzed per config. */
+    std::string backend;
 };
 
 /** One mode's divergence/violation. */
@@ -81,9 +90,9 @@ std::uint64_t caseSeed(std::uint64_t master_seed,
 /**
  * The @p config_index-th fuzzed SystemConfig: SystemConfig::scaled
  * shrunk for speed, with cores, cache geometry, vault count,
- * directory size, operand-buffer entries, issue window, and balanced
- * dispatch perturbed within legal ranges, deterministically from
- * @p master_seed.
+ * directory size, operand-buffer entries, issue window, balanced
+ * dispatch, and memory backend perturbed within legal ranges,
+ * deterministically from @p master_seed.
  */
 SystemConfig fuzzConfig(unsigned config_index, std::uint64_t master_seed,
                         ExecMode mode);

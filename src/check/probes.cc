@@ -86,11 +86,11 @@ checkOnce(System &sys, LinkWatermark *wm)
 
     // Off-chip link flit/byte conservation.
     if (wm) {
-        checkLinkDirection("request link", sys.hmc().requestFlits(),
-                           sys.hmc().requestBytes(), wm->req_flits,
+        checkLinkDirection("request link", sys.mem().requestFlits(),
+                           sys.mem().requestBytes(), wm->req_flits,
                            wm->req_bytes);
-        checkLinkDirection("response link", sys.hmc().responseFlits(),
-                           sys.hmc().responseBytes(), wm->res_flits,
+        checkLinkDirection("response link", sys.mem().responseFlits(),
+                           sys.mem().responseBytes(), wm->res_flits,
                            wm->res_bytes);
     }
 

@@ -54,8 +54,11 @@ usage(const char *argv0)
         "  --max-failures N     stop shrinking after N failures "
         "(default 4)\n"
         "  --failure-dir DIR    write reproducer files for failures\n"
+        "  --mem-backend B      pin every case to one memory backend\n"
+        "                       (default: fuzzed per config)\n"
         "  --replay-seed S      replay one case (with --replay-config,\n"
-        "                       --replay-prefix, --replay-mask)\n"
+        "                       --replay-prefix, --replay-mask,\n"
+        "                       --replay-backend)\n"
         "  --replay-file FILE   replay a written reproducer\n"
         "  --jobs N / --timeout-s S / --no-progress  (sweep driver)\n",
         argv0);
@@ -103,6 +106,8 @@ replayOne(const FuzzCaseId &id, const FuzzOptions &opt)
 {
     std::printf("replaying seed=0x%llx config=%u",
                 static_cast<unsigned long long>(id.seed), id.config);
+    if (!id.backend.empty())
+        std::printf(" backend=%s", id.backend.c_str());
     if (id.prefix != full_prefix)
         std::printf(" prefix=%zu", id.prefix);
     if (id.thread_mask != 0xffffffffu)
@@ -155,6 +160,8 @@ main(int argc, char **argv)
             static_cast<std::size_t>(parseU64(*v, "--max-failures"));
     if (const auto v = flagValue(argc, argv, "--failure-dir"))
         failure_dir = *v;
+    if (const auto v = flagValue(argc, argv, "--mem-backend"))
+        fopt.backend = *v;
     if (const auto v = flagValue(argc, argv, "--inject-bug")) {
         if (*v == "skip-unlock") {
             fopt.inject = InjectBug::SkipUnlock;
@@ -201,11 +208,13 @@ main(int argc, char **argv)
         if (const auto v = flagValue(argc, argv, "--replay-mask"))
             id.thread_mask = static_cast<std::uint32_t>(
                 parseU64(*v, "--replay-mask"));
+        if (const auto v = flagValue(argc, argv, "--replay-backend"))
+            id.backend = *v;
         return replayOne(id, fopt);
     }
 
     std::printf("simfuzz: %llu case(s), %u fuzzed config(s), "
-                "master seed %llu, probe every %llu event(s)%s%s\n",
+                "master seed %llu, probe every %llu event(s)%s%s%s%s\n",
                 static_cast<unsigned long long>(cases),
                 fopt.num_configs,
                 static_cast<unsigned long long>(fopt.master_seed),
@@ -213,7 +222,9 @@ main(int argc, char **argv)
                 fopt.inject != InjectBug::None ? ", inject " : "",
                 fopt.inject != InjectBug::None
                     ? injectBugName(fopt.inject)
-                    : "");
+                    : "",
+                fopt.backend.empty() ? "" : ", backend ",
+                fopt.backend.c_str());
 
     Sweep sweep;
     std::vector<FuzzCaseResult> results(cases);

@@ -4,7 +4,10 @@
 #include <cstring>
 #include <thread>
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "mem/backend.hh"
 
 namespace pei
 {
@@ -57,6 +60,17 @@ sweepOptionsFromArgs(int argc, char **argv)
             opts.timeout_s = s;
         } else if (flagValue(argc, argv, i, "--filter", value)) {
             opts.filter = value;
+        } else if (flagValue(argc, argv, i, "--mem-backend", value)) {
+            const auto names = memoryBackendNames();
+            if (std::find(names.begin(), names.end(), value) ==
+                names.end()) {
+                std::string known;
+                for (const auto &n : names)
+                    known += (known.empty() ? "" : ", ") + n;
+                fatal("--mem-backend '%s' is not registered (known: %s)",
+                      value.c_str(), known.c_str());
+            }
+            opts.mem_backend = value;
         } else if (std::strcmp(argv[i], "--list") == 0) {
             opts.list = true;
         } else if (std::strcmp(argv[i], "--no-progress") == 0) {

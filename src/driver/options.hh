@@ -7,6 +7,7 @@
  *   --filter SUBSTR run only jobs whose label contains SUBSTR
  *   --list          print job labels and exit without running
  *   --no-progress   suppress the live progress line on stderr
+ *   --mem-backend K main-memory backend (hmc | ddr | ideal)
  *
  * Both "--flag value" and "--flag=value" spellings are accepted;
  * flags the sweep does not own (e.g. --stats-json) are ignored.
@@ -25,6 +26,8 @@ struct SweepOptions
     unsigned jobs = 0;      ///< 0 = hardware_concurrency
     double timeout_s = 0.0; ///< 0 = no timeout
     std::string filter;     ///< empty = run everything
+    /** Memory backend registry key; empty = each job's default. */
+    std::string mem_backend;
     bool list = false;
     bool progress = true;
 };

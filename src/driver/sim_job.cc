@@ -30,14 +30,10 @@ collectRun(System &sys, RunResult &r, double wall_seconds,
     r.events = sys.eventQueue().executedCount();
     r.peis_host = sys.pmu().peisHost();
     r.peis_mem = sys.pmu().peisMem();
-    r.offchip_req_bytes = sys.hmc().requestBytes();
-    r.offchip_res_bytes = sys.hmc().responseBytes();
-    r.dram_reads = 0;
-    r.dram_writes = 0;
-    for (unsigned v = 0; v < sys.hmc().totalVaults(); ++v) {
-        r.dram_reads += sys.hmc().vault(v).reads();
-        r.dram_writes += sys.hmc().vault(v).writes();
-    }
+    r.offchip_req_bytes = sys.mem().requestBytes();
+    r.offchip_res_bytes = sys.mem().responseBytes();
+    r.dram_reads = sys.mem().memReads();
+    r.dram_writes = sys.mem().memWrites();
     r.retired_ops = 0;
     for (unsigned c = 0; c < sys.numCores(); ++c)
         r.retired_ops += sys.core(c).retiredOps();
@@ -56,6 +52,8 @@ runSimJob(const SimJob &job, JobCtx &ctx)
     }
 
     SystemConfig cfg = SystemConfig::scaled(job.mode);
+    if (!job.mem_backend.empty())
+        cfg.mem_backend = job.mem_backend;
     if (job.tweak)
         job.tweak(cfg);
     System sys(cfg);

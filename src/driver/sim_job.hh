@@ -80,6 +80,9 @@ struct SimJob
     std::string label;
     std::function<std::unique_ptr<Workload>()> factory;
     ExecMode mode = ExecMode::HostOnly;
+    /** Memory backend registry key; empty = the config's default.
+     *  Applied before @ref tweak so a tweak can still override. */
+    std::string mem_backend;
     ConfigTweak tweak;
     unsigned threads = 0;  ///< 0 = one coroutine per core
 

@@ -22,7 +22,10 @@ computeEnergy(const StatRegistry &stats, const EnergyParams &p)
     double host_ops = 0.0, mem_ops = 0.0;
     for (const auto &[name, value] : snap) {
         const auto v = static_cast<double>(value);
-        if (name.rfind("vault", 0) == 0) {
+        // DRAM arrays live behind "vaultN." (hmc backend) or
+        // "chanN." (ddr backend) stat prefixes; only vaults move
+        // data over TSVs.
+        if (name.rfind("vault", 0) == 0 || name.rfind("chan", 0) == 0) {
             if (name.find(".activates") != std::string::npos)
                 acts += v;
             else if (name.find(".reads") != std::string::npos)
@@ -43,9 +46,15 @@ computeEnergy(const StatRegistry &stats, const EnergyParams &p)
              (reads + writes) * p.dram_access_pj;
     e.tsv = tsv_bytes / block_size * p.tsv_per_block_pj;
 
+    // Only the hmc backend has packetized off-chip links; the other
+    // backends fold bus energy into their per-access costs.
     const double flits =
-        static_cast<double>(stats.get("link.req.flits")) +
-        static_cast<double>(stats.get("link.res.flits"));
+        (stats.has("link.req.flits")
+             ? static_cast<double>(stats.get("link.req.flits"))
+             : 0.0) +
+        (stats.has("link.res.flits")
+             ? static_cast<double>(stats.get("link.res.flits"))
+             : 0.0);
     e.offchip = flits * p.link_flit_pj;
 
     e.pcu = host_ops * p.host_pcu_op_pj + mem_ops * p.mem_pcu_op_pj;

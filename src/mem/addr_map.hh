@@ -34,8 +34,14 @@ struct MemLoc
 class AddrMap
 {
   public:
+    /**
+     * @p phys_bytes bounds the decodable address space: decode()
+     * range-checks the row field against it in debug builds.  0
+     * leaves decoding unbounded (legacy behavior; standalone uses).
+     */
     AddrMap(unsigned num_cubes, unsigned vaults_per_cube,
-            unsigned banks_per_vault, std::uint64_t row_bytes)
+            unsigned banks_per_vault, std::uint64_t row_bytes,
+            std::uint64_t phys_bytes = 0)
         : num_cubes(num_cubes), vaults_per_cube(vaults_per_cube),
           banks_per_vault(banks_per_vault),
           cube_bits(ceilLog2(num_cubes)),
@@ -48,6 +54,16 @@ class AddrMap
                  "memory geometry must be powers of two");
         fatal_if(row_bytes < block_size || !isPowerOf2(row_bytes),
                  "row size must be a power-of-two multiple of block size");
+        if (phys_bytes > 0) {
+            // Rows that fit below phys_bytes given the interleave:
+            // every row spans one row's worth of blocks in each
+            // (cube, vault, bank) combination.
+            const unsigned shift = block_shift + cube_bits + vault_bits +
+                                   bank_bits + row_block_bits;
+            row_limit = phys_bytes >> shift;
+            if (row_limit == 0)
+                row_limit = 1; // capacity below one full row stripe
+        }
     }
 
     /** Decode @p paddr (any byte address; block granularity). */
@@ -66,6 +82,18 @@ class AddrMap
         // grouped so that row_block_bits consecutive blocks (after
         // interleave) share a DRAM row.
         const std::uint64_t row = blk >> (lo + row_block_bits);
+#ifndef NDEBUG
+        // Construction asserts the geometry, but nothing bounds the
+        // row: an out-of-range physical address would silently decode
+        // to a phantom row past the end of memory.  Debug builds trap
+        // it at the decode seam (the earliest common point).
+        panic_if(row_limit != 0 && row >= row_limit,
+                 "physical address 0x%llx decodes past the end of memory "
+                 "(row %llu, only %llu row(s) backed)",
+                 static_cast<unsigned long long>(paddr),
+                 static_cast<unsigned long long>(row),
+                 static_cast<unsigned long long>(row_limit));
+#endif
         return MemLoc{cube, vault, bank, row,
                       cube * vaults_per_cube + vault};
     }
@@ -75,6 +103,9 @@ class AddrMap
     unsigned banksPerVault() const { return banks_per_vault; }
     unsigned totalVaults() const { return num_cubes * vaults_per_cube; }
 
+    /** Rows backed per bank (0 = unbounded; debug range check). */
+    std::uint64_t rowLimit() const { return row_limit; }
+
   private:
     unsigned num_cubes;
     unsigned vaults_per_cube;
@@ -83,6 +114,7 @@ class AddrMap
     unsigned vault_bits;
     unsigned bank_bits;
     unsigned row_block_bits;
+    std::uint64_t row_limit = 0; ///< 0 = no bound given
 };
 
 } // namespace pei

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The aggregate configuration handed to memory-backend factories.
+ *
+ * Kept separate from mem/backend.hh so the interface header stays
+ * free of concrete backend headers (hmc.hh includes backend.hh to
+ * derive HmcBackend; this header may include them all).
+ */
+
+#ifndef PEISIM_MEM_BACKEND_CONFIG_HH
+#define PEISIM_MEM_BACKEND_CONFIG_HH
+
+#include <cstdint>
+
+#include "mem/ddr.hh"
+#include "mem/hmc.hh"
+#include "mem/ideal_mem.hh"
+
+namespace pei
+{
+
+/**
+ * Every backend's knobs side by side; a factory reads only its own
+ * section (plus phys_bytes, which bounds address decomposition for
+ * the debug-build row range check).
+ */
+struct MemBackendConfig
+{
+    std::uint64_t phys_bytes = 0; ///< 0 = unbounded (no range check)
+    HmcConfig hmc;
+    DdrConfig ddr;
+    IdealMemConfig ideal;
+};
+
+} // namespace pei
+
+#endif // PEISIM_MEM_BACKEND_CONFIG_HH

@@ -25,6 +25,8 @@ Vault::Vault(EventQueue &eq, const DramConfig &cfg, const AddrMap &map,
     stats.add(p + "activates", &stat_activates);
     stats.add(p + "row_hits", &stat_row_hits);
     stats.add(p + "tsv_bytes", &stat_tsv_bytes);
+    if (cfg.queue_histogram)
+        stats.add(p + "queue_depth", &hist_queue_depth);
 }
 
 void
@@ -36,6 +38,8 @@ Vault::accessBlock(Addr paddr, bool is_write, Callback cb)
              global_id);
     queue.push_back(Request{paddr, is_write, loc.row, loc.bank, next_seq++,
                             std::move(cb)});
+    if (cfg.queue_histogram)
+        hist_queue_depth.record(queue.size());
     trySchedule();
 }
 

@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/addr_map.hh"
+#include "mem/backend.hh"
 #include "sim/continuation.hh"
 #include "sim/event_queue.hh"
 
@@ -35,6 +36,13 @@ struct DramConfig
     unsigned banks_per_vault = 16;
     /** Vertical (TSV) bandwidth per vault, GB/s. */
     double tsv_gbps = 16.0;
+    /**
+     * Record a per-vault request-queue-depth histogram
+     * ("vaultN.queue_depth").  Off by default so stats-v2 records of
+     * pre-existing configurations stay byte-identical; the DDR
+     * backend's channels always record theirs.
+     */
+    bool queue_histogram = false;
 };
 
 /**
@@ -42,7 +50,7 @@ struct DramConfig
  * the logic die.  Requests are scheduled FR-FCFS: among queued
  * requests whose bank is idle, row hits win; ties break by age.
  */
-class Vault
+class Vault : public MemPort
 {
   public:
     using Callback = Continuation;
@@ -55,12 +63,12 @@ class Vault
      * when read data is available on the logic die / the write has
      * been committed to the row buffer.
      */
-    void accessBlock(Addr paddr, bool is_write, Callback cb);
+    void accessBlock(Addr paddr, bool is_write, Callback cb) override;
 
     /** Number of requests currently queued or in flight. */
     std::size_t pending() const { return queue.size(); }
 
-    unsigned globalId() const { return global_id; }
+    unsigned globalId() const override { return global_id; }
 
     std::uint64_t reads() const { return stat_reads.value(); }
     std::uint64_t writes() const { return stat_writes.value(); }
@@ -106,6 +114,7 @@ class Vault
     Counter stat_activates;
     Counter stat_row_hits;
     Counter stat_tsv_bytes;
+    Histogram hist_queue_depth; ///< registered iff cfg.queue_histogram
 };
 
 } // namespace pei

@@ -36,9 +36,11 @@ HmcLink::send(unsigned bytes, unsigned cube)
     return free_at + prop_latency + hop_latency * cube;
 }
 
-HmcController::HmcController(EventQueue &eq, const HmcConfig &cfg,
-                             const AddrMap &map, StatRegistry &stats)
-    : eq(eq), cfg(cfg), map(map),
+HmcBackend::HmcBackend(EventQueue &eq, const HmcConfig &cfg,
+                       StatRegistry &stats, std::uint64_t phys_bytes)
+    : eq(eq), cfg(cfg),
+      map(cfg.num_cubes, cfg.vaults_per_cube, cfg.dram.banks_per_vault,
+          cfg.dram.row_bytes, phys_bytes),
       req_link(eq, cfg.link, "link.req", stats),
       res_link(eq, cfg.link, "link.res", stats)
 {
@@ -69,13 +71,13 @@ HmcController::HmcController(EventQueue &eq, const HmcConfig &cfg,
 }
 
 unsigned
-HmcController::flitsOf(unsigned bytes) const
+HmcBackend::flitsOf(unsigned bytes) const
 {
     return (bytes + cfg.link.flit_bytes - 1) / cfg.link.flit_bytes;
 }
 
 void
-HmcController::readBlock(Addr paddr, Callback cb)
+HmcBackend::readBlock(Addr paddr, Callback cb)
 {
     ++stat_reads;
     const MemLoc loc = map.decode(paddr);
@@ -89,7 +91,7 @@ HmcController::readBlock(Addr paddr, Callback cb)
 }
 
 void
-HmcController::readArrived(std::uint32_t txn)
+HmcBackend::readArrived(std::uint32_t txn)
 {
     ReadTxn &t = read_txns[txn];
     vaults[t.loc.globalVault]->accessBlock(t.paddr, false,
@@ -97,7 +99,7 @@ HmcController::readArrived(std::uint32_t txn)
 }
 
 void
-HmcController::readDone(std::uint32_t txn)
+HmcBackend::readDone(std::uint32_t txn)
 {
     ReadTxn &t = read_txns[txn];
     ema_res.add(flitsOf(16 + block_size), eq.now());
@@ -109,7 +111,7 @@ HmcController::readDone(std::uint32_t txn)
 }
 
 void
-HmcController::writeBlock(Addr paddr, Callback cb)
+HmcBackend::writeBlock(Addr paddr, Callback cb)
 {
     ++stat_writes;
     const MemLoc loc = map.decode(paddr);
@@ -122,7 +124,7 @@ HmcController::writeBlock(Addr paddr, Callback cb)
 }
 
 void
-HmcController::writeArrived(std::uint32_t txn)
+HmcBackend::writeArrived(std::uint32_t txn)
 {
     WriteTxn &t = write_txns[txn];
     vaults[t.loc.globalVault]->accessBlock(t.paddr, true,
@@ -130,7 +132,7 @@ HmcController::writeArrived(std::uint32_t txn)
 }
 
 void
-HmcController::writeDone(std::uint32_t txn)
+HmcBackend::writeDone(std::uint32_t txn)
 {
     // Writes are posted: completion is acknowledged without
     // consuming response bandwidth (footnote 7).
@@ -141,7 +143,7 @@ HmcController::writeDone(std::uint32_t txn)
 }
 
 void
-HmcController::attachPimHandler(unsigned global_vault, PimHandler *handler)
+HmcBackend::attachPimHandler(unsigned global_vault, PimHandler *handler)
 {
     panic_if(global_vault >= pim_handlers.size(),
              "vault index %u out of range", global_vault);
@@ -149,7 +151,7 @@ HmcController::attachPimHandler(unsigned global_vault, PimHandler *handler)
 }
 
 void
-HmcController::sendPim(PimPacket pkt, PimHandler::Respond cb)
+HmcBackend::sendPim(PimPacket pkt, PimHandler::Respond cb)
 {
     ++stat_pim_ops;
     const MemLoc loc = map.decode(pkt.paddr);
@@ -167,7 +169,7 @@ HmcController::sendPim(PimPacket pkt, PimHandler::Respond cb)
 }
 
 void
-HmcController::pimArrived(std::uint32_t txn)
+HmcBackend::pimArrived(std::uint32_t txn)
 {
     PimTxn &t = pim_txns[txn];
     PimHandler *handler = pim_handlers[t.loc.globalVault];
@@ -177,7 +179,7 @@ HmcController::pimArrived(std::uint32_t txn)
 }
 
 void
-HmcController::pimDone(std::uint32_t txn, PimPacket done)
+HmcBackend::pimDone(std::uint32_t txn, PimPacket done)
 {
     PimTxn &t = pim_txns[txn];
     const unsigned bytes = done.responseBytes();
@@ -196,8 +198,26 @@ HmcController::pimDone(std::uint32_t txn, PimPacket done)
     eq.scheduleAt(back, [this, txn] { pimRespond(txn); });
 }
 
+std::uint64_t
+HmcBackend::memReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : vaults)
+        n += v->reads();
+    return n;
+}
+
+std::uint64_t
+HmcBackend::memWrites() const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : vaults)
+        n += v->writes();
+    return n;
+}
+
 void
-HmcController::pimRespond(std::uint32_t txn)
+HmcBackend::pimRespond(std::uint32_t txn)
 {
     PimTxn &t = pim_txns[txn];
     PimHandler::Respond cb = std::move(t.cb);

@@ -22,6 +22,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/addr_map.hh"
+#include "mem/backend.hh"
 #include "mem/dram.hh"
 #include "mem/pim_iface.hh"
 #include "sim/continuation.hh"
@@ -133,51 +134,60 @@ class EmaCounter
 /**
  * Host-side HMC controller: routes read/write/PIM packets over the
  * request link to the owning cube/vault and returns responses over
- * the response link.  Owns all vaults of all cubes.
+ * the response link.  Owns all vaults of all cubes (they are its PIM
+ * units) and the address map decoding into them.
  */
-class HmcController
+class HmcBackend : public MemoryBackend
 {
   public:
     using Callback = Continuation;
 
-    HmcController(EventQueue &eq, const HmcConfig &cfg, const AddrMap &map,
-                  StatRegistry &stats);
+    HmcBackend(EventQueue &eq, const HmcConfig &cfg, StatRegistry &stats,
+               std::uint64_t phys_bytes = 0);
+
+    const char *kind() const override { return "hmc"; }
 
     /** Fetch the block containing @p paddr; @p cb fires on arrival. */
-    void readBlock(Addr paddr, Callback cb);
+    void readBlock(Addr paddr, Callback cb) override;
 
     /** Write back the block containing @p paddr; @p cb optional. */
-    void writeBlock(Addr paddr, Callback cb = nullptr);
+    void writeBlock(Addr paddr, Callback cb = nullptr) override;
 
     /**
      * Dispatch a PIM operation to the vault owning its target block;
      * @p cb receives the completed packet (output operands filled).
      */
-    void sendPim(PimPacket pkt, PimHandler::Respond cb);
+    void sendPim(PimPacket pkt, PimHandler::Respond cb) override;
 
     /** Register the memory-side PCU serving @p global_vault. */
-    void attachPimHandler(unsigned global_vault, PimHandler *handler);
+    void attachPimHandler(unsigned global_vault,
+                          PimHandler *handler) override;
+
+    bool supportsPim() const override { return true; }
+    unsigned pimUnits() const override { return totalVaults(); }
+    MemPort &pimUnitPort(unsigned unit) override { return vault(unit); }
+
+    const AddrMap &addrMap() const override { return map; }
 
     Vault &vault(unsigned global_vault) { return *vaults[global_vault]; }
     unsigned totalVaults() const { return static_cast<unsigned>(vaults.size()); }
 
+    std::uint64_t memReads() const override;
+    std::uint64_t memWrites() const override;
+
     /** EMA of request-link flits (balanced dispatch input). */
-    double emaRequestFlits() { return ema_req.value(eq.now()); }
+    double emaRequestFlits() override { return ema_req.value(eq.now()); }
 
     /** EMA of response-link flits (balanced dispatch input). */
-    double emaResponseFlits() { return ema_res.value(eq.now()); }
+    double emaResponseFlits() override { return ema_res.value(eq.now()); }
 
     /** Raw per-direction off-chip byte counters. */
-    std::uint64_t requestBytes() const { return req_link.bytes(); }
-    std::uint64_t responseBytes() const { return res_link.bytes(); }
+    std::uint64_t requestBytes() const override { return req_link.bytes(); }
+    std::uint64_t responseBytes() const override { return res_link.bytes(); }
 
     /** Raw per-direction off-chip flit counters (probe hooks). */
-    std::uint64_t requestFlits() const { return req_link.flits(); }
-    std::uint64_t responseFlits() const { return res_link.flits(); }
-    std::uint64_t offChipBytes() const
-    {
-        return req_link.bytes() + res_link.bytes();
-    }
+    std::uint64_t requestFlits() const override { return req_link.flits(); }
+    std::uint64_t responseFlits() const override { return res_link.flits(); }
 
   private:
     /**
@@ -223,7 +233,7 @@ class HmcController
 
     EventQueue &eq;
     HmcConfig cfg;
-    const AddrMap &map;
+    AddrMap map;
     HmcLink req_link;
     HmcLink res_link;
     EmaCounter ema_req;

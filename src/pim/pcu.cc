@@ -84,17 +84,17 @@ Pcu::compute(unsigned cycles, Callback done)
     eq.scheduleAt(*port, std::move(done));
 }
 
-MemSidePcu::MemSidePcu(EventQueue &eq, const PcuConfig &cfg, Vault &vault,
+MemSidePcu::MemSidePcu(EventQueue &eq, const PcuConfig &cfg, MemPort &port,
                        VirtualMemory &vm, StatRegistry &stats)
-    : eq(eq), vault(vault), vm(vm),
-      logic(eq, "mem_pcu" + std::to_string(vault.globalId()),
+    : eq(eq), port(port), vm(vm),
+      logic(eq, "mem_pcu" + std::to_string(port.globalId()),
             cfg.operand_buffer_entries, cfg.issue_width, cfg.mem_mhz,
             stats),
       stat_ops()
 {
-    stats.add("mem_pcu" + std::to_string(vault.globalId()) + ".ops",
+    stats.add("mem_pcu" + std::to_string(port.globalId()) + ".ops",
               &stat_ops);
-    stats.add("mem_pcu" + std::to_string(vault.globalId()) + ".dram_ticks",
+    stats.add("mem_pcu" + std::to_string(port.globalId()) + ".dram_ticks",
               &hist_dram_ticks);
 }
 
@@ -114,7 +114,7 @@ MemSidePcu::entryGranted(std::uint32_t txn)
     // the computation logic is busy (paper §4.2).
     OpTxn &t = ops[txn];
     t.read_start = eq.now();
-    vault.accessBlock(t.pkt.paddr, false, [this, txn] { readDone(txn); });
+    port.accessBlock(t.pkt.paddr, false, [this, txn] { readDone(txn); });
 }
 
 void
@@ -132,8 +132,8 @@ MemSidePcu::computed(std::uint32_t txn)
     OpTxn &t = ops[txn];
     executePeiFunctional(vm, t.pkt);
     if (t.pkt.is_writer) {
-        vault.accessBlock(t.pkt.paddr, true,
-                          [this, txn] { respondNow(txn); });
+        port.accessBlock(t.pkt.paddr, true,
+                         [this, txn] { respondNow(txn); });
     } else {
         respondNow(txn);
     }

@@ -21,7 +21,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "mem/dram.hh"
+#include "mem/backend.hh"
 #include "mem/pim_iface.hh"
 #include "mem/vmem.hh"
 #include "pim/pei_op.hh"
@@ -91,16 +91,17 @@ class Pcu
 };
 
 /**
- * Memory-side PCU: one per vault, attached to the HMC controller as
- * the vault's PimHandler.  Execution sequence per packet: allocate
- * an operand-buffer entry, read the target block from DRAM (reads of
- * distinct in-flight PEIs overlap), compute, write the block back
- * for writer PEIs, respond.
+ * Memory-side PCU: one per PIM unit, attached to the memory backend
+ * as the unit's PimHandler and reaching DRAM through the unit's
+ * MemPort.  Execution sequence per packet: allocate an operand-buffer
+ * entry, read the target block from DRAM (reads of distinct in-flight
+ * PEIs overlap), compute, write the block back for writer PEIs,
+ * respond.
  */
 class MemSidePcu : public PimHandler
 {
   public:
-    MemSidePcu(EventQueue &eq, const PcuConfig &cfg, Vault &vault,
+    MemSidePcu(EventQueue &eq, const PcuConfig &cfg, MemPort &port,
                VirtualMemory &vm, StatRegistry &stats);
 
     void handle(PimPacket pkt, Respond respond) override;
@@ -123,7 +124,7 @@ class MemSidePcu : public PimHandler
     void respondNow(std::uint32_t txn);
 
     EventQueue &eq;
-    Vault &vault;
+    MemPort &port;
     VirtualMemory &vm;
     Pcu logic;
     SlotPool<OpTxn> ops;

@@ -21,8 +21,8 @@ execModeName(ExecMode mode)
 
 Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
          unsigned l3_sets, unsigned l3_ways, CacheHierarchy &hierarchy,
-         HmcController &hmc, VirtualMemory &vm, StatRegistry &stats)
-    : eq(eq), cfg(cfg), hierarchy(hierarchy), hmc(hmc), vm(vm)
+         MemoryBackend &mem, VirtualMemory &vm, StatRegistry &stats)
+    : eq(eq), cfg(cfg), hierarchy(hierarchy), mem(mem), vm(vm)
 {
     // Ideal-Host idealizes the directory: exact tracking, zero
     // latency, PEIs behave like host instructions (§7: "its PIM
@@ -56,11 +56,16 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
             cfg.pcu.host_mhz, stats));
     }
 
-    mem_pcus.reserve(hmc.totalVaults());
-    for (unsigned v = 0; v < hmc.totalVaults(); ++v) {
-        mem_pcus.push_back(std::make_unique<MemSidePcu>(
-            eq, cfg.pcu, hmc.vault(v), vm, stats));
-        hmc.attachPimHandler(v, mem_pcus.back().get());
+    // Memory-side PCUs exist only where the backend can execute
+    // them; on a non-PIM backend every PEI degrades to host-side
+    // execution (decideLookup/memExecute below).
+    if (mem.supportsPim()) {
+        mem_pcus.reserve(mem.pimUnits());
+        for (unsigned v = 0; v < mem.pimUnits(); ++v) {
+            mem_pcus.push_back(std::make_unique<MemSidePcu>(
+                eq, cfg.pcu, mem.pimUnitPort(v), vm, stats));
+            mem.attachPimHandler(v, mem_pcus.back().get());
+        }
     }
 
     stats.add("pmu.peis_issued", &stat_peis_issued);
@@ -223,13 +228,19 @@ Pmu::decideLookup(std::uint32_t txn)
     PeiTxn &t = txns[txn];
     const Addr block = t.pkt.paddr >> block_shift;
     const bool high_locality = mon->lookupForPei(block);
+    if (!mem.supportsPim()) {
+        // The monitor still profiles, but there is nowhere to
+        // offload to: degrade to host-side execution.
+        hostExecute(txn);
+        return;
+    }
     if (high_locality) {
         // §7.4 saturation override: a saturated off-chip link can
         // make memory-side execution cheaper even for a
         // high-locality PEI.  The EMA decays with a 10 µs half-life,
         // so the override releases once pressure subsides.
         if (cfg.balanced_dispatch && cfg.balanced_saturation_flits > 0.0 &&
-            std::max(hmc.emaRequestFlits(), hmc.emaResponseFlits()) >=
+            std::max(mem.emaRequestFlits(), mem.emaResponseFlits()) >=
                 cfg.balanced_saturation_flits) {
             ++stat_saturation_to_mem;
             memExecute(txn);
@@ -267,8 +278,8 @@ Pmu::balancedChoice(const PimPacket &pkt)
     const unsigned mem_req = flits(pkt.requestBytes());
     const unsigned mem_res = flits(pkt.responseBytes());
 
-    const double c_req = hmc.emaRequestFlits();
-    const double c_res = hmc.emaResponseFlits();
+    const double c_req = mem.emaRequestFlits();
+    const double c_res = mem.emaResponseFlits();
     if (c_res > c_req)
         return mem_res <= host_res; // minimize response traffic
     return mem_req <= host_req;     // minimize request traffic
@@ -330,6 +341,12 @@ Pmu::hostComputed(std::uint32_t txn)
 void
 Pmu::memExecute(std::uint32_t txn)
 {
+    if (!mem.supportsPim()) {
+        // PIM-Only (and balanced dispatch) on a non-PIM backend
+        // degrades to host-side execution.
+        hostExecute(txn);
+        return;
+    }
     PeiTxn &t = txns[txn];
     const Addr block = t.pkt.paddr >> block_shift;
     if (cfg.mode == ExecMode::LocalityAware)
@@ -357,7 +374,7 @@ Pmu::offload(std::uint32_t txn)
     PeiTxn &t = txns[txn];
     (t.pkt.is_writer ? mem_writer_blocks : mem_reader_blocks)
         .push_back(t.pkt.paddr >> block_shift);
-    hmc.sendPim(std::move(t.pkt), [this, txn](PimPacket completed) {
+    mem.sendPim(std::move(t.pkt), [this, txn](PimPacket completed) {
         memFinish(txn, std::move(completed));
     });
 }

@@ -9,12 +9,13 @@
  *     (back-invalidation for writers, back-writeback for readers);
  *  3. data-locality profiling via the locality monitor, deciding
  *     host-side vs. memory-side execution per PEI;
- *  4. (§7.4) optional balanced dispatch using the HMC controller's
+ *  4. (§7.4) optional balanced dispatch using the memory backend's
  *     EMA request/response flit counters.
  *
- * The PMU also owns all PCUs: one host-side PCU per core and one
- * memory-side PCU per vault (attached to the HMC controller as PIM
- * packet handlers).
+ * The PMU also owns all PCUs: one host-side PCU per core and — when
+ * the memory backend reports PIM capability — one memory-side PCU
+ * per PIM unit (attached to the backend as PIM packet handlers).  On
+ * a non-PIM backend every PEI degrades to host-side execution.
  */
 
 #ifndef PEISIM_PIM_PMU_HH
@@ -25,7 +26,7 @@
 
 #include "cache/hierarchy.hh"
 #include "common/stats.hh"
-#include "mem/hmc.hh"
+#include "mem/backend.hh"
 #include "mem/vmem.hh"
 #include "pim/locality_monitor.hh"
 #include "pim/pcu.hh"
@@ -96,7 +97,7 @@ class Pmu
 
     Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
         unsigned l3_sets, unsigned l3_ways, CacheHierarchy &hierarchy,
-        HmcController &hmc, VirtualMemory &vm, StatRegistry &stats);
+        MemoryBackend &mem, VirtualMemory &vm, StatRegistry &stats);
 
     /**
      * Execute one PEI issued by @p core targeting physical address
@@ -117,8 +118,8 @@ class Pmu
     LocalityMonitor &monitor() { return *mon; }
     Pcu &hostPcu(unsigned core) { return *host_pcus[core]; }
 
-    /** Memory-side PCU buffer of @p vault (probe/test hook). */
-    Pcu &memPcu(unsigned vault) { return mem_pcus[vault]->pcu(); }
+    /** Memory-side PCU buffer of PIM unit @p unit (probe hook). */
+    Pcu &memPcu(unsigned unit) { return mem_pcus[unit]->pcu(); }
     unsigned numHostPcus() const
     {
         return static_cast<unsigned>(host_pcus.size());
@@ -197,7 +198,7 @@ class Pmu
     EventQueue &eq;
     PimConfig cfg;
     CacheHierarchy &hierarchy;
-    HmcController &hmc;
+    MemoryBackend &mem;
     VirtualMemory &vm;
 
     std::unique_ptr<PimDirectory> dir;

@@ -35,8 +35,12 @@ systemConfigJson(const SystemConfig &cfg)
        << ",\"phys_bytes\":" << cfg.phys_bytes
        << ",\"l1_bytes\":" << cfg.cache.l1_bytes
        << ",\"l2_bytes\":" << cfg.cache.l2_bytes
-       << ",\"l3_bytes\":" << cfg.cache.l3_bytes
-       << ",\"hmc_cubes\":" << cfg.hmc.num_cubes
+       << ",\"l3_bytes\":" << cfg.cache.l3_bytes;
+    // stats-v2 "mem.backend" field: only emitted off the default so
+    // records of pre-existing hmc configurations stay byte-identical.
+    if (cfg.mem_backend != "hmc")
+        os << ",\"mem_backend\":\"" << jsonEscape(cfg.mem_backend) << "\"";
+    os << ",\"hmc_cubes\":" << cfg.hmc.num_cubes
        << ",\"vaults_per_cube\":" << cfg.hmc.vaults_per_cube
        << ",\"directory_entries\":" << cfg.pim.directory_entries
        << ",\"operand_buffer_entries\":"

@@ -60,19 +60,25 @@ SystemConfig::scaled(ExecMode mode)
     // 5 GB/s per direction.  This — not raw capacity — is the
     // regime that makes simple PIM operations pay off (§2.1).
     cfg.hmc.link.gbps = 5.0;
+    // The alternative backends scale alongside: two DDR channels and
+    // one ideal PIM unit per HMC vault keep comparisons meaningful.
+    cfg.ddr.channels = 2;
+    cfg.ideal_mem.pim_units = cfg.hmc.vaults_per_cube;
     cfg.pim.directory_entries = 2048;
     return cfg;
 }
 
 System::System(const SystemConfig &cfg_in)
-    : cfg(cfg_in), vm(cfg.phys_bytes),
-      addr_map(cfg.hmc.num_cubes, cfg.hmc.vaults_per_cube,
-               cfg.hmc.dram.banks_per_vault, cfg.hmc.dram.row_bytes)
+    : cfg(cfg_in), vm(cfg.phys_bytes)
 {
-    hmc_ctrl = std::make_unique<HmcController>(eq, cfg.hmc, addr_map,
-                                               stats_);
+    MemBackendConfig mem_cfg;
+    mem_cfg.phys_bytes = cfg.phys_bytes;
+    mem_cfg.hmc = cfg.hmc;
+    mem_cfg.ddr = cfg.ddr;
+    mem_cfg.ideal = cfg.ideal_mem;
+    mem_ = createMemoryBackend(cfg.mem_backend, eq, mem_cfg, stats_);
     hierarchy = std::make_unique<CacheHierarchy>(eq, cfg.cache, cfg.cores,
-                                                 *hmc_ctrl, stats_);
+                                                 *mem_, stats_);
     cores.reserve(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c)
         cores.push_back(std::make_unique<Core>(eq, cfg.core, c, stats_));
@@ -80,8 +86,8 @@ System::System(const SystemConfig &cfg_in)
     const unsigned l3_sets = static_cast<unsigned>(
         cfg.cache.l3_bytes / block_size / cfg.cache.l3_ways);
     pmu_ = std::make_unique<Pmu>(eq, cfg.pim, cfg.cores, l3_sets,
-                                 cfg.cache.l3_ways, *hierarchy, *hmc_ctrl,
-                                 vm, stats_);
+                                 cfg.cache.l3_ways, *hierarchy, *mem_, vm,
+                                 stats_);
 }
 
 } // namespace pei

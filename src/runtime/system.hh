@@ -1,7 +1,8 @@
 /**
  * @file
  * The System facade: wires every subsystem (cores, TLBs, caches,
- * HMC main memory, PMU, PCUs) into one simulated machine.
+ * the selected main-memory backend, PMU, PCUs) into one simulated
+ * machine.
  *
  * This is the primary entry point of the library together with
  * Runtime/Ctx (runtime/context.hh):
@@ -31,7 +32,8 @@
 #include "common/stats.hh"
 #include "cpu/core.hh"
 #include "mem/addr_map.hh"
-#include "mem/hmc.hh"
+#include "mem/backend.hh"
+#include "mem/backend_config.hh"
 #include "mem/vmem.hh"
 #include "pim/pmu.hh"
 #include "sim/event_queue.hh"
@@ -45,9 +47,18 @@ struct SystemConfig
     unsigned cores = 16;
     std::uint64_t phys_bytes = 32ULL << 30;
 
+    /**
+     * Main-memory backend: a key of the memory-backend factory
+     * registry ("hmc" | "ddr" | "ideal"; mem/backend.hh).  Only the
+     * selected backend's config below is consulted.
+     */
+    std::string mem_backend = "hmc";
+
     CoreConfig core;
     CacheConfig cache;
     HmcConfig hmc;
+    DdrConfig ddr;
+    IdealMemConfig ideal_mem;
     PimConfig pim;
 
     /** The paper's Table 2 baseline (16 cores, 16 MB L3, 8 HMCs). */
@@ -71,8 +82,8 @@ class System
 
     EventQueue &eventQueue() { return eq; }
     VirtualMemory &memory() { return vm; }
-    const AddrMap &addrMap() const { return addr_map; }
-    HmcController &hmc() { return *hmc_ctrl; }
+    const AddrMap &addrMap() const { return mem_->addrMap(); }
+    MemoryBackend &mem() { return *mem_; }
     CacheHierarchy &caches() { return *hierarchy; }
     Pmu &pmu() { return *pmu_; }
     Core &core(unsigned i) { return *cores[i]; }
@@ -88,8 +99,7 @@ class System
     StatRegistry stats_;
     EventQueue eq;
     VirtualMemory vm;
-    AddrMap addr_map;
-    std::unique_ptr<HmcController> hmc_ctrl;
+    std::unique_ptr<MemoryBackend> mem_;
     std::unique_ptr<CacheHierarchy> hierarchy;
     std::vector<std::unique_ptr<Core>> cores;
     std::unique_ptr<Pmu> pmu_;

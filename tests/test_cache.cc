@@ -20,11 +20,10 @@ namespace
 struct CacheFixture : public ::testing::Test
 {
     CacheFixture()
-        : map(1, 4, 16, 8192)
     {
         hmc_cfg.num_cubes = 1;
         hmc_cfg.vaults_per_cube = 4;
-        hmc = std::make_unique<HmcController>(eq, hmc_cfg, map, stats);
+        hmc = std::make_unique<HmcBackend>(eq, hmc_cfg, stats);
 
         cache_cfg.l1_bytes = 1 << 10;
         cache_cfg.l1_ways = 2;
@@ -58,10 +57,9 @@ struct CacheFixture : public ::testing::Test
 
     StatRegistry stats;
     EventQueue eq;
-    AddrMap map;
     HmcConfig hmc_cfg;
     CacheConfig cache_cfg;
-    std::unique_ptr<HmcController> hmc;
+    std::unique_ptr<HmcBackend> hmc;
     std::unique_ptr<CacheHierarchy> caches;
 };
 
@@ -233,11 +231,10 @@ TEST_P(CacheGeometry, RandomTrafficKeepsInvariants)
     const auto [ways, cores] = GetParam();
     StatRegistry stats;
     EventQueue eq;
-    AddrMap map(1, 4, 16, 8192);
     HmcConfig hmc_cfg;
     hmc_cfg.num_cubes = 1;
     hmc_cfg.vaults_per_cube = 4;
-    HmcController hmc(eq, hmc_cfg, map, stats);
+    HmcBackend hmc(eq, hmc_cfg, stats);
     CacheConfig cfg;
     cfg.l1_bytes = 2 << 10;
     cfg.l1_ways = ways;

@@ -97,6 +97,31 @@ TEST(AddrMap, DecodeCoversAllComponents)
     }
 }
 
+TEST(AddrMap, MaxAddressDecodesInBounds)
+{
+    // 64 MB over 1x4 vaults, 16 banks, 8 KB rows: the last backed
+    // block must decode cleanly into the final row stripe.
+    const std::uint64_t phys = 64ULL << 20;
+    AddrMap map(1, 4, 16, 8192, phys);
+    ASSERT_GT(map.rowLimit(), 0u);
+    const MemLoc last = map.decode(phys - block_size);
+    EXPECT_LT(last.row, map.rowLimit());
+    // An unbounded map (phys_bytes = 0) never rejects an address.
+    AddrMap unbounded(1, 4, 16, 8192);
+    EXPECT_EQ(unbounded.rowLimit(), 0u);
+    (void)unbounded.decode(~0ULL & ~63ULL);
+}
+
+#ifndef NDEBUG
+TEST(AddrMapDeathTest, DecodePastEndOfMemoryPanics)
+{
+    const std::uint64_t phys = 64ULL << 20;
+    AddrMap map(1, 4, 16, 8192, phys);
+    EXPECT_DEATH((void)map.decode(phys),
+                 "decodes past the end of memory");
+}
+#endif
+
 TEST(AddrMap, BlocksSpreadAcrossVaults)
 {
     AddrMap map(1, 16, 16, 8192);
@@ -206,14 +231,14 @@ struct HmcFixture : public ::testing::Test
     {
         cfg.num_cubes = 2;
         cfg.vaults_per_cube = 4;
-        hmc = std::make_unique<HmcController>(eq, cfg, map, stats);
+        hmc = std::make_unique<HmcBackend>(eq, cfg, stats);
     }
 
     StatRegistry stats;
     EventQueue eq;
     AddrMap map;
     HmcConfig cfg;
-    std::unique_ptr<HmcController> hmc;
+    std::unique_ptr<HmcBackend> hmc;
 };
 
 TEST_F(HmcFixture, ReadCostsOneRequestFiveResponseFlits)

@@ -49,7 +49,7 @@ TEST(PaperBaseline, ConstructsAndRunsAllModes)
         SystemConfig cfg = SystemConfig::paperBaseline(mode);
         cfg.phys_bytes = 1ULL << 30; // trim backing allocation
         System sys(cfg);
-        EXPECT_EQ(sys.hmc().totalVaults(), 128u);
+        EXPECT_EQ(sys.mem().pimUnits(), 128u);
         Runtime rt(sys);
         const Addr a = rt.allocArray<std::uint64_t>(1 << 12);
         rt.spawnThreads(sys.numCores(),

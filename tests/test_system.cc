@@ -317,9 +317,9 @@ TEST(SystemProperties, BalancedDispatchMovesTrafficToIdleLink)
             });
         rt.run();
         const double req =
-            static_cast<double>(sys.hmc().requestBytes());
+            static_cast<double>(sys.mem().requestBytes());
         const double res =
-            static_cast<double>(sys.hmc().responseBytes());
+            static_cast<double>(sys.mem().responseBytes());
         return std::max(req, res) / std::max(1.0, std::min(req, res));
     };
     EXPECT_LT(imbalance(true), imbalance(false));

@@ -4,8 +4,12 @@
 # The event & continuation refactor replaced every scheduling/callback
 # seam in src/sim, src/cache, src/mem and src/pim with inline-storage
 # pei::Continuation / InlineFunction types; a std::function there
-# reintroduces a heap allocation per event.  Deliberately cold uses
-# (the event-boundary probe hook, stats invariants) carry a
+# reintroduces a heap allocation per event.  src/mem includes every
+# MemoryBackend implementation (hmc, ddr, ideal and any future
+# registrant), so new backends inherit the discipline automatically;
+# src/energy and src/check sit downstream of backend callbacks and
+# are scanned for the same reason.  Deliberately cold uses (the
+# event-boundary probe hook, stats invariants) carry a
 # `stdfunction-allowed:` comment on the same line or the line above.
 #
 # Usage: tools/check_scheduling_std_function.sh [repo-root]
@@ -16,7 +20,7 @@ root="${1:-$(dirname "$0")/..}"
 cd "$root"
 
 status=0
-for dir in src/sim src/cache src/mem src/pim; do
+for dir in src/sim src/cache src/mem src/pim src/energy src/check; do
     # `grep -n` per file keeps the output clickable; a match is only
     # a violation when neither its own line nor the preceding line
     # carries the stdfunction-allowed tag.
