@@ -163,6 +163,7 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
         cfg.mem_backend = opt.backend;
     if (!id.backend.empty())
         cfg.mem_backend = id.backend; // a pinned reproducer wins
+    cfg.shards = opt.shards;
     System sys(cfg);
     std::optional<WatchGuard> guard;
     if (jctx)
@@ -208,27 +209,61 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
     // must report deadlock and livelock as FuzzViolations, not abort
     // the whole sweep via panic().
     EventQueue &eq = sys.eventQueue();
+    ShardedQueue &sq = sys.shardedQueue();
     const std::uint64_t budget = 200000 + 4000 * prog.totalOps();
-    while (!rt.allDone()) {
-        if (eq.stopRequested())
-            throw SimulationStopped();
-        if (eq.executedCount() > budget) {
-            throw FuzzViolation(
-                "event budget exceeded (" + std::to_string(budget) +
-                " events for " + std::to_string(prog.totalOps()) +
-                " ops): hang or livelock");
+    if (sq.parallel()) {
+        // Epoch-driven variant: runEpoch() == 0 means every shard
+        // and mailbox is drained — or the host broke on a stop
+        // request mid-epoch, so re-check the flag before calling it
+        // a deadlock.  Worker-shard exceptions (panics, violations)
+        // rethrow from runEpoch on this thread.
+        while (!rt.allDone()) {
+            if (sq.stopRequested())
+                throw SimulationStopped();
+            if (sq.executedCount() > budget) {
+                throw FuzzViolation(
+                    "event budget exceeded (" + std::to_string(budget) +
+                    " events for " + std::to_string(prog.totalOps()) +
+                    " ops): hang or livelock");
+            }
+            if (sq.runEpoch() == 0) {
+                if (sq.stopRequested())
+                    throw SimulationStopped();
+                throw FuzzViolation(
+                    "deadlock: unfinished thread(s) with every shard "
+                    "drained");
+            }
         }
-        if (!eq.runOne()) {
-            throw FuzzViolation(
-                "deadlock: unfinished thread(s) with an empty event "
-                "queue");
+        while (sq.runEpoch() != 0) {
+            if (sq.stopRequested())
+                throw SimulationStopped();
+            if (sq.executedCount() > budget)
+                throw FuzzViolation(
+                    "event budget exceeded while settling");
         }
-    }
-    while (eq.runOne()) {
-        if (eq.stopRequested())
-            throw SimulationStopped();
-        if (eq.executedCount() > budget)
-            throw FuzzViolation("event budget exceeded while settling");
+    } else {
+        while (!rt.allDone()) {
+            if (eq.stopRequested())
+                throw SimulationStopped();
+            if (eq.executedCount() > budget) {
+                throw FuzzViolation(
+                    "event budget exceeded (" + std::to_string(budget) +
+                    " events for " + std::to_string(prog.totalOps()) +
+                    " ops): hang or livelock");
+            }
+            if (!eq.runOne()) {
+                throw FuzzViolation(
+                    "deadlock: unfinished thread(s) with an empty event "
+                    "queue");
+            }
+        }
+        while (eq.runOne()) {
+            if (eq.stopRequested())
+                throw SimulationStopped();
+            if (eq.executedCount() > budget)
+                throw FuzzViolation(
+                    "event budget exceeded while settling");
+        }
     }
 
     // Quiesce-time invariants: probes once more, then the registered
@@ -435,6 +470,8 @@ replayFileContents(const FuzzCaseId &id, const FuzzOptions &opt)
     os << "configs=" << opt.num_configs << "\n";
     os << "probe_every=" << opt.probe_every << "\n";
     os << "inject=" << injectBugName(opt.inject) << "\n";
+    if (opt.shards > 1)
+        os << "shards=" << opt.shards << "\n";
     os << "seed=" << hex(id.seed) << "\n";
     os << "config=" << id.config << "\n";
     if (id.prefix == full_prefix)
@@ -470,6 +507,9 @@ parseReplayFile(const std::string &text, FuzzCaseId &id, FuzzOptions &opt)
                     static_cast<unsigned>(std::stoul(value, nullptr, 0));
             } else if (key == "probe_every") {
                 opt.probe_every = std::stoull(value, nullptr, 0);
+            } else if (key == "shards") {
+                opt.shards =
+                    static_cast<unsigned>(std::stoul(value, nullptr, 0));
             } else if (key == "inject") {
                 if (value == "none")
                     opt.inject = InjectBug::None;
@@ -520,6 +560,8 @@ replayCommand(const FuzzCaseId &id, const FuzzOptions &opt)
        << opt.num_configs;
     if (opt.inject != InjectBug::None)
         os << " --inject-bug " << injectBugName(opt.inject);
+    if (opt.shards > 1)
+        os << " --shards " << opt.shards;
     return os.str();
 }
 

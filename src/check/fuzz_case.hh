@@ -62,6 +62,14 @@ struct FuzzOptions
     InjectBug inject = InjectBug::None;
     /** Force every case onto one backend; empty = fuzzed per config. */
     std::string backend;
+    /**
+     * Event-queue shards per simulated System (`--shards`).  1 = the
+     * sequential engine; N > 1 runs every mode of every case on the
+     * sharded engine, making the whole differential suite a
+     * sharded-vs-golden equivalence check (architectural results are
+     * interleaving-independent by generator construction).
+     */
+    unsigned shards = 1;
 };
 
 /** One mode's divergence/violation. */

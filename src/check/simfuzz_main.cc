@@ -56,6 +56,8 @@ usage(const char *argv0)
         "  --failure-dir DIR    write reproducer files for failures\n"
         "  --mem-backend B      pin every case to one memory backend\n"
         "                       (default: fuzzed per config)\n"
+        "  --shards N           event-queue shards per System\n"
+        "                       (default 1 = sequential engine)\n"
         "  --replay-seed S      replay one case (with --replay-config,\n"
         "                       --replay-prefix, --replay-mask,\n"
         "                       --replay-backend)\n"
@@ -162,6 +164,8 @@ main(int argc, char **argv)
         failure_dir = *v;
     if (const auto v = flagValue(argc, argv, "--mem-backend"))
         fopt.backend = *v;
+    if (const auto v = flagValue(argc, argv, "--shards"))
+        fopt.shards = static_cast<unsigned>(parseU64(*v, "--shards"));
     if (const auto v = flagValue(argc, argv, "--inject-bug")) {
         if (*v == "skip-unlock") {
             fopt.inject = InjectBug::SkipUnlock;
@@ -213,8 +217,12 @@ main(int argc, char **argv)
         return replayOne(id, fopt);
     }
 
+    const std::string shards_note =
+        fopt.shards > 1
+            ? ", " + std::to_string(fopt.shards) + " shards"
+            : "";
     std::printf("simfuzz: %llu case(s), %u fuzzed config(s), "
-                "master seed %llu, probe every %llu event(s)%s%s%s%s\n",
+                "master seed %llu, probe every %llu event(s)%s%s%s%s%s\n",
                 static_cast<unsigned long long>(cases),
                 fopt.num_configs,
                 static_cast<unsigned long long>(fopt.master_seed),
@@ -224,7 +232,7 @@ main(int argc, char **argv)
                     ? injectBugName(fopt.inject)
                     : "",
                 fopt.backend.empty() ? "" : ", backend ",
-                fopt.backend.c_str());
+                fopt.backend.c_str(), shards_note.c_str());
 
     Sweep sweep;
     std::vector<FuzzCaseResult> results(cases);

@@ -8,6 +8,8 @@
  *   --list          print job labels and exit without running
  *   --no-progress   suppress the live progress line on stderr
  *   --mem-backend K main-memory backend (hmc | ddr | ideal)
+ *   --shards N      event-queue shards per simulated System
+ *                   (1 = the sequential engine; sim/sharded_queue.hh)
  *
  * Both "--flag value" and "--flag=value" spellings are accepted;
  * flags the sweep does not own (e.g. --stats-json) are ignored.
@@ -28,6 +30,8 @@ struct SweepOptions
     std::string filter;     ///< empty = run everything
     /** Memory backend registry key; empty = each job's default. */
     std::string mem_backend;
+    /** Event-queue shards per System; 0 = each job's default (1). */
+    unsigned shards = 0;
     bool list = false;
     bool progress = true;
 };

@@ -27,7 +27,9 @@ collectRun(System &sys, RunResult &r, double wall_seconds,
 
     r.ticks = sys.now();
     r.wall_seconds = wall_seconds;
-    r.events = sys.eventQueue().executedCount();
+    // Sum over every shard (identical to the host queue's count when
+    // shards == 1, so sequential run records are unchanged).
+    r.events = sys.shardedQueue().executedCount();
     r.peis_host = sys.pmu().peisHost();
     r.peis_mem = sys.pmu().peisMem();
     r.offchip_req_bytes = sys.mem().requestBytes();
@@ -54,6 +56,8 @@ runSimJob(const SimJob &job, JobCtx &ctx)
     SystemConfig cfg = SystemConfig::scaled(job.mode);
     if (!job.mem_backend.empty())
         cfg.mem_backend = job.mem_backend;
+    if (job.shards)
+        cfg.shards = job.shards;
     if (job.tweak)
         job.tweak(cfg);
     System sys(cfg);

@@ -83,6 +83,9 @@ struct SimJob
     /** Memory backend registry key; empty = the config's default.
      *  Applied before @ref tweak so a tweak can still override. */
     std::string mem_backend;
+    /** Event-queue shards; 0 = the config's default (sequential).
+     *  Applied before @ref tweak so a tweak can still override. */
+    unsigned shards = 0;
     ConfigTweak tweak;
     unsigned threads = 0;  ///< 0 = one coroutine per core
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "mem/backend_config.hh"
+#include "sim/sharded_queue.hh"
 
 namespace pei
 {
@@ -33,23 +34,23 @@ registry()
 }
 
 std::unique_ptr<MemoryBackend>
-makeHmc(EventQueue &eq, const MemBackendConfig &cfg, StatRegistry &stats)
+makeHmc(ShardedQueue &sq, const MemBackendConfig &cfg, StatRegistry &stats)
 {
-    return std::make_unique<HmcBackend>(eq, cfg.hmc, stats,
+    return std::make_unique<HmcBackend>(sq, cfg.hmc, stats,
                                         cfg.phys_bytes);
 }
 
 std::unique_ptr<MemoryBackend>
-makeDdr(EventQueue &eq, const MemBackendConfig &cfg, StatRegistry &stats)
+makeDdr(ShardedQueue &sq, const MemBackendConfig &cfg, StatRegistry &stats)
 {
-    return std::make_unique<DdrBackend>(eq, cfg.ddr, stats,
+    return std::make_unique<DdrBackend>(sq, cfg.ddr, stats,
                                         cfg.phys_bytes);
 }
 
 std::unique_ptr<MemoryBackend>
-makeIdeal(EventQueue &eq, const MemBackendConfig &cfg, StatRegistry &stats)
+makeIdeal(ShardedQueue &sq, const MemBackendConfig &cfg, StatRegistry &stats)
 {
-    return std::make_unique<IdealBackend>(eq, cfg.ideal, stats,
+    return std::make_unique<IdealBackend>(sq, cfg.ideal, stats,
                                           cfg.phys_bytes);
 }
 
@@ -94,7 +95,7 @@ memoryBackendNames()
 }
 
 std::unique_ptr<MemoryBackend>
-createMemoryBackend(const std::string &name, EventQueue &eq,
+createMemoryBackend(const std::string &name, ShardedQueue &sq,
                     const MemBackendConfig &cfg, StatRegistry &stats)
 {
     MemBackendFactory factory = nullptr;
@@ -112,7 +113,7 @@ createMemoryBackend(const std::string &name, EventQueue &eq,
         fatal("unknown memory backend '%s' (registered: %s)",
               name.c_str(), known.c_str());
     }
-    return factory(eq, cfg, stats);
+    return factory(sq, cfg, stats);
 }
 
 } // namespace pei

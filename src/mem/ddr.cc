@@ -35,7 +35,25 @@ DdrChannel::DdrChannel(EventQueue &eq, const DdrConfig &cfg,
     stats.add(p + "activates", &stat_activates);
     stats.add(p + "row_hits", &stat_row_hits);
     stats.add(p + "refreshes", &stat_refreshes);
+    stats.add(p + "retry_arms", &stat_retry_arms);
+    stats.add(p + "retry_fires", &stat_retry_fires);
+    stats.add(p + "retry_stale", &stat_retry_stale);
     stats.add(p + "queue_depth", &hist_queue_depth);
+    stats.addInvariant(
+        p + "retry events balance at drain",
+        [this] {
+            // Every armed retry either fired live or drained as a
+            // stale no-op; an imbalance (or a still-armed retry at
+            // audit time) means a wakeup storm or a lost wakeup.
+            const std::uint64_t arms = stat_retry_arms.value();
+            const std::uint64_t done =
+                stat_retry_fires.value() + stat_retry_stale.value();
+            if (arms == done && !retry_armed)
+                return std::string();
+            return "retry_arms=" + std::to_string(arms) +
+                   " but fires+stale=" + std::to_string(done) +
+                   (retry_armed ? " with a retry still armed" : "");
+        });
 }
 
 void
@@ -56,9 +74,19 @@ DdrChannel::armRetry(Tick when)
 {
     if (retry_armed && retry_at <= when)
         return;
+    // Re-arming earlier abandons the already-scheduled later event;
+    // it stays in the queue, so tag every arm with a generation and
+    // let outdated events no-op instead of re-running the scheduler.
+    const std::uint64_t gen = ++retry_gen;
+    ++stat_retry_arms;
     retry_armed = true;
     retry_at = when;
-    eq.scheduleAt(when, [this] {
+    eq.scheduleAt(when, [this, gen] {
+        if (gen != retry_gen) {
+            ++stat_retry_stale;
+            return;
+        }
+        ++stat_retry_fires;
         retry_armed = false;
         retry_at = max_tick;
         trySchedule();
@@ -90,15 +118,19 @@ DdrChannel::earliestStart(const Request &r, Tick now) const
     Tick t = std::max(now, b.free_at);
     if (b.open_row == static_cast<std::int64_t>(r.row))
         return t;
-    // Row miss: precharge honours tRAS, the activate honours
-    // tRRD_S/tRRD_L and the rolling four-activate tFAW window.
+    // Row miss: precharge honours tRAS; tRRD_S/tRRD_L and the rolling
+    // four-activate tFAW window gate the *activate*, which issue()
+    // places at start + tRP on a conflict (the precharge runs first),
+    // at the start itself on a closed bank.
+    const Ticks pre = b.open_row >= 0 ? t_rp : Ticks{0};
     if (b.open_row >= 0)
         t = std::max(t, b.ras_ready_at);
-    t = std::max(t, any_last_act + t_rrd_s);
-    t = std::max(t, group_last_act[groupOf(r.bank)] + t_rrd_l);
+    Tick act = t + pre;
+    act = std::max(act, any_last_act + t_rrd_s);
+    act = std::max(act, group_last_act[groupOf(r.bank)] + t_rrd_l);
     if (act_window.size() >= 4)
-        t = std::max(t, act_window.front() + t_faw);
-    return t;
+        act = std::max(act, act_window.front() + t_faw);
+    return act - pre;
 }
 
 void
@@ -201,16 +233,22 @@ DdrChannel::trySchedule()
     armRetry(earliest);
 }
 
-DdrBackend::DdrBackend(EventQueue &eq, const DdrConfig &cfg,
+DdrBackend::DdrBackend(ShardedQueue &sq, const DdrConfig &cfg,
                        StatRegistry &stats, std::uint64_t phys_bytes)
-    : eq(eq), cfg(cfg),
+    : sq(sq), eq(sq.host()), cfg(cfg),
       map(1, cfg.channels, cfg.bank_groups * cfg.banks_per_group,
           cfg.row_bytes, phys_bytes)
 {
+    // Same burst computation as DdrChannel: one block over the bus.
+    t_burst =
+        nsToTicks(static_cast<double>(block_size) / cfg.chan_gbps);
+
     channels.reserve(cfg.channels);
+    // Each channel's FR-FCFS state, retry events and stats live on
+    // its shard's queue (single-writer discipline per Counter).
     for (unsigned c = 0; c < cfg.channels; ++c)
-        channels.push_back(
-            std::make_unique<DdrChannel>(eq, cfg, map, c, stats));
+        channels.push_back(std::make_unique<DdrChannel>(
+            sq.shard(sq.shardFor(c)), cfg, map, c, stats));
 
     stats.add("ddr.reads", &stat_reads);
     stats.add("ddr.writes", &stat_writes);
@@ -224,8 +262,22 @@ DdrBackend::readBlock(Addr paddr, Callback cb)
     const MemLoc loc = map.decode(paddr);
     const std::uint32_t txn =
         read_txns.emplace(ReadTxn{eq.now(), std::move(cb)});
-    channels[loc.globalVault]->accessBlock(paddr, false,
-                                           [this, txn] { readDone(txn); });
+    const unsigned c = loc.globalVault;
+    if (!sq.parallel()) {
+        // Exact sequential path: the channel is driven synchronously
+        // on the host queue, bit-identical to the pre-sharding code.
+        channels[c]->accessBlock(paddr, false,
+                                 [this, txn] { readDone(txn); });
+        return;
+    }
+    // Both directions of the host<->channel hop are zero-latency
+    // (it used to be a plain call), so they take the clamped mailbox
+    // path; the worker-side lambda carries only plain values.
+    sq.post(sq.shardFor(c), Continuation([this, txn, c, paddr] {
+        channels[c]->accessBlock(paddr, false, [this, txn] {
+            completeOnHost([this, txn] { readDone(txn); });
+        });
+    }));
 }
 
 void
@@ -244,13 +296,45 @@ DdrBackend::writeBlock(Addr paddr, Callback cb)
 {
     ++stat_writes;
     const MemLoc loc = map.decode(paddr);
-    channels[loc.globalVault]->accessBlock(paddr, true, std::move(cb));
+    const unsigned c = loc.globalVault;
+    if (!sq.parallel()) {
+        // Exact sequential path, including the null-cb case: wrapping
+        // a null cb would add an event and change executed counts.
+        channels[c]->accessBlock(paddr, true, std::move(cb));
+        return;
+    }
+    // Park the host-side ack (if any) so the cross-shard lambda stays
+    // within the mailbox Continuation's inline budget.
+    const std::uint32_t txn =
+        cb ? write_txns.emplace(WriteTxn{std::move(cb)}) : no_write_ack;
+    sq.post(sq.shardFor(c), Continuation([this, txn, c, paddr] {
+        Callback done;
+        if (txn != no_write_ack)
+            done = [this, txn] {
+                completeOnHost([this, txn] { writeDone(txn); });
+            };
+        channels[c]->accessBlock(paddr, true, std::move(done));
+    }));
+}
+
+void
+DdrBackend::writeDone(std::uint32_t txn)
+{
+    Callback cb = std::move(write_txns[txn].cb);
+    write_txns.erase(txn);
+    cb();
 }
 
 MemPort &
 DdrBackend::pimUnitPort(unsigned unit)
 {
     panic("ddr backend has no PIM unit %u", unit);
+}
+
+EventQueue &
+DdrBackend::pimUnitQueue(unsigned unit)
+{
+    panic("ddr backend has no PIM unit %u (no queue)", unit);
 }
 
 void

@@ -28,6 +28,7 @@
 #include "mem/backend.hh"
 #include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded_queue.hh"
 #include "sim/slot_pool.hh"
 
 namespace pei
@@ -83,6 +84,11 @@ class DdrChannel : public MemPort
     std::uint64_t reads() const { return stat_reads.value(); }
     std::uint64_t writes() const { return stat_writes.value(); }
 
+    /** Retry-event accounting (scheduler wakeup hygiene). */
+    std::uint64_t retryArms() const { return stat_retry_arms.value(); }
+    std::uint64_t retryFires() const { return stat_retry_fires.value(); }
+    std::uint64_t retryStale() const { return stat_retry_stale.value(); }
+
   private:
     struct Bank
     {
@@ -100,7 +106,13 @@ class DdrChannel : public MemPort
         Callback cb;
     };
 
-    /** Earliest tick @p r could issue given bank/activate windows. */
+    /**
+     * Earliest tick @p r could issue given bank/activate windows.
+     * On a row conflict the activate happens tRP after the returned
+     * start tick (precharge first), so tRRD_S/tRRD_L/tFAW gate the
+     * *projected activate tick*, not the start tick — issue() places
+     * the activate at start + tRP with the same projection.
+     */
     Tick earliestStart(const Request &r, Tick now) const;
     void advanceRefresh(Tick now);
     void issue(Request req, Tick now);
@@ -132,11 +144,22 @@ class DdrChannel : public MemPort
     bool retry_armed = false;
     Tick retry_at = max_tick;
 
+    /**
+     * Re-arming the retry earlier than a pending one abandons the
+     * later event in the queue; the generation counter lets the
+     * abandoned event recognize it is stale and no-op instead of
+     * waking the scheduler spuriously.
+     */
+    std::uint64_t retry_gen = 0;
+
     Counter stat_reads;
     Counter stat_writes;
     Counter stat_activates;
     Counter stat_row_hits;
     Counter stat_refreshes;
+    Counter stat_retry_arms;
+    Counter stat_retry_fires;
+    Counter stat_retry_stale;
     Histogram hist_queue_depth; ///< always recorded (new stats field)
 };
 
@@ -151,7 +174,16 @@ class DdrBackend : public MemoryBackend
   public:
     using Callback = Continuation;
 
-    DdrBackend(EventQueue &eq, const DdrConfig &cfg, StatRegistry &stats,
+    /**
+     * Sharding: the backend's pools/stats live on the host shard;
+     * each channel lives on shard sq.shardFor(chan).  Host-to-channel
+     * and channel-to-host edges are both zero-latency (accessBlock
+     * used to be a synchronous call), so under --shards=N they ride
+     * the clamped mailbox path: sharded DDR timing is approximate
+     * within one epoch window (still deterministic), while a single
+     * shard reproduces the sequential backend bit for bit.
+     */
+    DdrBackend(ShardedQueue &sq, const DdrConfig &cfg, StatRegistry &stats,
                std::uint64_t phys_bytes = 0);
 
     const char *kind() const override { return "ddr"; }
@@ -166,6 +198,14 @@ class DdrBackend : public MemoryBackend
     void sendPim(PimPacket pkt, PimHandler::Respond cb) override;
 
     const AddrMap &addrMap() const override { return map; }
+
+    unsigned memPartitions() const override { return cfg.channels; }
+
+    /** Lookahead: one data burst — the shortest channel occupancy
+     *  separating any two observable completions. */
+    Ticks minCrossShardLatency() const override { return t_burst; }
+
+    EventQueue &pimUnitQueue(unsigned unit) override;
 
     std::uint64_t memReads() const override;
     std::uint64_t memWrites() const override;
@@ -183,13 +223,37 @@ class DdrBackend : public MemoryBackend
         Callback cb;
     };
 
-    void readDone(std::uint32_t txn);
+    struct WriteTxn
+    {
+        Callback cb; ///< parked host-side ack (parallel mode only)
+    };
 
-    EventQueue &eq;
+    /** Handle sentinel: posted write with no host-side ack. */
+    static constexpr std::uint32_t no_write_ack = 0xffffffffu;
+
+    void readDone(std::uint32_t txn);
+    void writeDone(std::uint32_t txn);
+
+    /** Run @p fn on the host shard (inline when single-shard). */
+    template <typename Fn>
+    void
+    completeOnHost(Fn &&fn)
+    {
+        if (!sq.parallel()) {
+            fn();
+            return;
+        }
+        sq.post(0, Continuation(std::forward<Fn>(fn)));
+    }
+
+    ShardedQueue &sq;
+    EventQueue &eq; ///< the host shard's queue (sq.host())
     DdrConfig cfg;
     AddrMap map;
+    Ticks t_burst; ///< one block over a channel bus (lookahead)
     std::vector<std::unique_ptr<DdrChannel>> channels;
     SlotPool<ReadTxn> read_txns;
+    SlotPool<WriteTxn> write_txns;
 
     Counter stat_reads;
     Counter stat_writes;

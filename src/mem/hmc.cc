@@ -36,9 +36,9 @@ HmcLink::send(unsigned bytes, unsigned cube)
     return free_at + prop_latency + hop_latency * cube;
 }
 
-HmcBackend::HmcBackend(EventQueue &eq, const HmcConfig &cfg,
+HmcBackend::HmcBackend(ShardedQueue &sq, const HmcConfig &cfg,
                        StatRegistry &stats, std::uint64_t phys_bytes)
-    : eq(eq), cfg(cfg),
+    : sq(sq), eq(sq.host()), cfg(cfg),
       map(cfg.num_cubes, cfg.vaults_per_cube, cfg.dram.banks_per_vault,
           cfg.dram.row_bytes, phys_bytes),
       req_link(eq, cfg.link, "link.req", stats),
@@ -46,9 +46,12 @@ HmcBackend::HmcBackend(EventQueue &eq, const HmcConfig &cfg,
 {
     const unsigned total = cfg.num_cubes * cfg.vaults_per_cube;
     vaults.reserve(total);
+    // Each vault schedules against its own shard's queue: all of a
+    // vault's bank timing, retries and stats stay single-threaded on
+    // that shard (single-writer discipline per Counter).
     for (unsigned v = 0; v < total; ++v)
-        vaults.push_back(
-            std::make_unique<Vault>(eq, cfg.dram, map, v, stats));
+        vaults.push_back(std::make_unique<Vault>(
+            sq.shard(sq.shardFor(v)), cfg.dram, map, v, stats));
     pim_handlers.assign(total, nullptr);
 
     stats.add("hmc.reads", &stat_reads);
@@ -87,15 +90,15 @@ HmcBackend::readBlock(Addr paddr, Callback cb)
     const Tick arrive = req_link.send(16, loc.cube);
     const std::uint32_t txn =
         read_txns.emplace(ReadTxn{paddr, loc, issued, std::move(cb)});
-    eq.scheduleAt(arrive, [this, txn] { readArrived(txn); });
-}
-
-void
-HmcBackend::readArrived(std::uint32_t txn)
-{
-    ReadTxn &t = read_txns[txn];
-    vaults[t.loc.globalVault]->accessBlock(t.paddr, false,
-                                           [this, txn] { readDone(txn); });
+    // The arrival event runs on the vault's shard.  It captures plain
+    // values (not slot references): a worker shard must never touch
+    // the host-owned transaction pools, only carry the handle back.
+    const unsigned gv = loc.globalVault;
+    sq.scheduleOn(sq.shardFor(gv), arrive, [this, txn, gv, paddr] {
+        vaults[gv]->accessBlock(paddr, false, [this, txn] {
+            completeOnHost([this, txn] { readDone(txn); });
+        });
+    });
 }
 
 void
@@ -120,15 +123,12 @@ HmcBackend::writeBlock(Addr paddr, Callback cb)
     const Tick arrive = req_link.send(16 + block_size, loc.cube);
     const std::uint32_t txn =
         write_txns.emplace(WriteTxn{paddr, loc, std::move(cb)});
-    eq.scheduleAt(arrive, [this, txn] { writeArrived(txn); });
-}
-
-void
-HmcBackend::writeArrived(std::uint32_t txn)
-{
-    WriteTxn &t = write_txns[txn];
-    vaults[t.loc.globalVault]->accessBlock(t.paddr, true,
-                                           [this, txn] { writeDone(txn); });
+    const unsigned gv = loc.globalVault;
+    sq.scheduleOn(sq.shardFor(gv), arrive, [this, txn, gv, paddr] {
+        vaults[gv]->accessBlock(paddr, true, [this, txn] {
+            completeOnHost([this, txn] { writeDone(txn); });
+        });
+    });
 }
 
 void
@@ -165,24 +165,25 @@ HmcBackend::sendPim(PimPacket pkt, PimHandler::Respond cb)
     const Tick arrive = req_link.send(pkt.requestBytes(), loc.cube);
     const std::uint32_t txn =
         pim_txns.emplace(PimTxn{loc, issued, std::move(pkt), std::move(cb)});
-    eq.scheduleAt(arrive, [this, txn] { pimArrived(txn); });
-}
-
-void
-HmcBackend::pimArrived(std::uint32_t txn)
-{
-    PimTxn &t = pim_txns[txn];
-    PimHandler *handler = pim_handlers[t.loc.globalVault];
-    handler->handle(std::move(t.pkt), [this, txn](PimPacket done) {
-        pimDone(txn, std::move(done));
+    // Capture the slot's stable address here, on the host: slots live
+    // in fixed chunks, but resolving a handle walks the pool's chunk
+    // table, which only the host shard may touch while it grows.
+    PimTxn *p = &pim_txns[txn];
+    const unsigned gv = loc.globalVault;
+    sq.scheduleOn(sq.shardFor(gv), arrive, [this, txn, p, gv] {
+        pim_handlers[gv]->handle(
+            std::move(p->pkt), [this, txn, p](PimPacket done) {
+                p->pkt = std::move(done); // park the response in the slot
+                completeOnHost([this, txn] { pimDone(txn); });
+            });
     });
 }
 
 void
-HmcBackend::pimDone(std::uint32_t txn, PimPacket done)
+HmcBackend::pimDone(std::uint32_t txn)
 {
     PimTxn &t = pim_txns[txn];
-    const unsigned bytes = done.responseBytes();
+    const unsigned bytes = t.pkt.responseBytes();
     Tick back;
     if (bytes > 0) {
         ema_res.add(flitsOf(bytes), eq.now());
@@ -194,7 +195,6 @@ HmcBackend::pimDone(std::uint32_t txn, PimPacket done)
                nsToTicks(cfg.link.hop_ns) * t.loc.cube;
     }
     hist_pim_roundtrip_ticks.record(back - t.issued);
-    t.pkt = std::move(done); // park the response in the slot
     eq.scheduleAt(back, [this, txn] { pimRespond(txn); });
 }
 

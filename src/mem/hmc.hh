@@ -27,6 +27,7 @@
 #include "mem/pim_iface.hh"
 #include "sim/continuation.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded_queue.hh"
 #include "sim/slot_pool.hh"
 
 namespace pei
@@ -136,13 +137,24 @@ class EmaCounter
  * request link to the owning cube/vault and returns responses over
  * the response link.  Owns all vaults of all cubes (they are its PIM
  * units) and the address map decoding into them.
+ *
+ * Sharding: the controller itself (links, EMAs, transaction pools,
+ * stats, histograms) lives on the host shard; each vault — and the
+ * memory-side PCU attached to it — lives on the worker shard
+ * sq.shardFor(globalVault) and is driven by that shard's EventQueue.
+ * Request arrivals ride the link latency (>= the lookahead, so their
+ * timing is exact); completions return to the host shard over the
+ * zero-latency mailbox edge, clamped by at most one epoch window.
+ * With a single shard every scheduleOn degenerates to the host queue
+ * and completions are invoked inline, which is bit-identical to the
+ * sequential engine.
  */
 class HmcBackend : public MemoryBackend
 {
   public:
     using Callback = Continuation;
 
-    HmcBackend(EventQueue &eq, const HmcConfig &cfg, StatRegistry &stats,
+    HmcBackend(ShardedQueue &sq, const HmcConfig &cfg, StatRegistry &stats,
                std::uint64_t phys_bytes = 0);
 
     const char *kind() const override { return "hmc"; }
@@ -168,6 +180,22 @@ class HmcBackend : public MemoryBackend
     MemPort &pimUnitPort(unsigned unit) override { return vault(unit); }
 
     const AddrMap &addrMap() const override { return map; }
+
+    unsigned memPartitions() const override { return totalVaults(); }
+
+    /** Lookahead: the request link's propagation latency — every
+     *  host-to-vault edge carries at least this much delay. */
+    Ticks
+    minCrossShardLatency() const override
+    {
+        return nsToTicks(cfg.link.latency_ns);
+    }
+
+    EventQueue &
+    pimUnitQueue(unsigned unit) override
+    {
+        return sq.shard(sq.shardFor(unit));
+    }
 
     Vault &vault(unsigned global_vault) { return *vaults[global_vault]; }
     unsigned totalVaults() const { return static_cast<unsigned>(vaults.size()); }
@@ -222,16 +250,35 @@ class HmcBackend : public MemoryBackend
 
     unsigned flitsOf(unsigned bytes) const;
 
-    // Stage handlers (one per latency edge of the old closure chain).
-    void readArrived(std::uint32_t txn);
+    // Host-shard stage handlers (one per latency edge of the old
+    // closure chain).  The arrival stages became vault-shard lambdas
+    // capturing plain values — a cross-shard closure must not touch
+    // the host-owned transaction pools' metadata, only carry the
+    // 32-bit handle back (or read through a stable slot pointer).
     void readDone(std::uint32_t txn);
-    void writeArrived(std::uint32_t txn);
     void writeDone(std::uint32_t txn);
-    void pimArrived(std::uint32_t txn);
-    void pimDone(std::uint32_t txn, PimPacket done);
+    void pimDone(std::uint32_t txn);
     void pimRespond(std::uint32_t txn);
 
-    EventQueue &eq;
+    /**
+     * Run @p fn on the host shard at the calling vault shard's
+     * current tick — the completion edge.  Single-shard mode invokes
+     * it inline (exactly the old synchronous call, bit-identical);
+     * sharded mode posts a mailbox message, clamped at delivery.
+     */
+    template <typename Fn>
+    void
+    completeOnHost(Fn &&fn)
+    {
+        if (!sq.parallel()) {
+            fn();
+            return;
+        }
+        sq.post(0, Continuation(std::forward<Fn>(fn)));
+    }
+
+    ShardedQueue &sq;
+    EventQueue &eq; ///< the host shard's queue (sq.host())
     HmcConfig cfg;
     AddrMap map;
     HmcLink req_link;

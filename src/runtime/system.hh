@@ -37,6 +37,7 @@
 #include "mem/vmem.hh"
 #include "pim/pmu.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded_queue.hh"
 
 namespace pei
 {
@@ -53,6 +54,25 @@ struct SystemConfig
      * selected backend's config below is consulted.
      */
     std::string mem_backend = "hmc";
+
+    /**
+     * Event-queue shards (sim/sharded_queue.hh): 1 runs the classic
+     * sequential engine (bit-identical to the pre-sharding
+     * simulator); N > 1 adds N-1 worker shards the backend's memory
+     * partitions are distributed over, synchronized conservatively at
+     * epoch barriers with the backend's minCrossShardLatency() as
+     * lookahead.
+     */
+    unsigned shards = 1;
+
+    /**
+     * Extra slack added to each epoch's horizon beyond the
+     * conservative lookahead.  0 keeps cross-shard timing as tight
+     * as the lookahead allows; larger windows batch more events per
+     * barrier (faster) at the cost of clamping zero-latency
+     * completion edges by up to the window.
+     */
+    Ticks shard_window = 0;
 
     CoreConfig core;
     CacheConfig cache;
@@ -80,7 +100,11 @@ class System
   public:
     explicit System(const SystemConfig &cfg);
 
-    EventQueue &eventQueue() { return eq; }
+    /** The host shard's queue (the only queue when shards == 1). */
+    EventQueue &eventQueue() { return squeue.host(); }
+
+    /** The sharded engine driving all queues (runtime/epoch loop). */
+    ShardedQueue &shardedQueue() { return squeue; }
     VirtualMemory &memory() { return vm; }
     const AddrMap &addrMap() const { return mem_->addrMap(); }
     MemoryBackend &mem() { return *mem_; }
@@ -91,13 +115,13 @@ class System
     StatRegistry &stats() { return stats_; }
     const SystemConfig &config() const { return cfg; }
 
-    /** Current simulated time. */
-    Tick now() const { return eq.now(); }
+    /** Current simulated time (host shard). */
+    Tick now() const { return squeue.host().now(); }
 
   private:
     SystemConfig cfg;
     StatRegistry stats_;
-    EventQueue eq;
+    ShardedQueue squeue;
     VirtualMemory vm;
     std::unique_ptr<MemoryBackend> mem_;
     std::unique_ptr<CacheHierarchy> hierarchy;

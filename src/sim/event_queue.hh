@@ -163,22 +163,59 @@ class EventQueue
         probe_every = every ? every : 1;
     }
 
+    /** Why run() returned (exposed so raw-loop callers can tell a
+     *  drain from an external cancellation; see RunOutcome). */
+    enum class RunBreak : std::uint8_t
+    {
+        Drained, ///< queue empty
+        Limit,   ///< next event lies past the tick limit
+        Stopped, ///< requestStop() observed at a check boundary
+    };
+
+    /**
+     * Result of run(): how many events executed and why the loop
+     * broke.  A stop request used to be indistinguishable from a
+     * normal drain here, so raw-loop callers (bench warmup loops,
+     * golden-model drivers) silently swallowed cancellations that
+     * Runtime::run turns into SimulationStopped; they can now call
+     * throwIfStopped() to propagate consistently.
+     */
+    struct RunOutcome
+    {
+        std::uint64_t executed = 0;
+        RunBreak why = RunBreak::Drained;
+
+        bool stopped() const { return why == RunBreak::Stopped; }
+
+        /** Propagate an external stop the way Runtime::run does. */
+        void
+        throwIfStopped() const
+        {
+            if (stopped())
+                throw SimulationStopped();
+        }
+    };
+
     /**
      * Run until the queue drains, time would pass @p limit, or a
      * stop is requested (checked every stop_check_interval events).
-     * @return number of events executed.
+     * @return events executed plus the break reason.
      */
-    std::uint64_t
+    RunOutcome
     run(Tick limit = max_tick)
     {
-        std::uint64_t n = 0;
+        RunOutcome out;
         while (!events.empty() && events.front().when <= limit) {
-            if ((n & (stop_check_interval - 1)) == 0 && stopRequested())
-                break;
+            if ((out.executed & (stop_check_interval - 1)) == 0 &&
+                stopRequested()) {
+                out.why = RunBreak::Stopped;
+                return out;
+            }
             runOne();
-            ++n;
+            ++out.executed;
         }
-        return n;
+        out.why = events.empty() ? RunBreak::Drained : RunBreak::Limit;
+        return out;
     }
 
     /** Total events executed since construction. */

@@ -1,0 +1,228 @@
+#include "sharded_queue.hh"
+
+#include <algorithm>
+
+namespace pei
+{
+
+namespace
+{
+
+/**
+ * Identity of the shard the current OS thread is executing: set by
+ * worker threads at startup and by the coordinator around its own
+ * shard-0 section, consulted by scheduleOn()/post() to pick the
+ * right mailbox row.  A thread that never entered an epoch of this
+ * queue (e.g. a sweep worker constructing a fresh System) reads as
+ * shard 0, which is correct: outside epochs only the coordinating
+ * thread touches the queue.
+ */
+thread_local const ShardedQueue *tls_owner = nullptr;
+thread_local unsigned tls_shard = 0;
+
+void
+relaxWait(unsigned &spins)
+{
+    // Spin briefly (cheap when a peer is about to flip the flag on
+    // another core), then yield: on oversubscribed hosts — fewer
+    // cores than shards — the waiting thread must surrender its
+    // timeslice or every barrier costs a full scheduling quantum.
+    if (++spins > 128) {
+        std::this_thread::yield();
+        spins = 0;
+    }
+}
+
+} // namespace
+
+ShardedQueue::ShardedQueue(unsigned nshards)
+{
+    const unsigned n = std::max(1u, nshards);
+    queues.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues.push_back(std::make_unique<EventQueue>());
+    boxes.resize(static_cast<std::size_t>(n) * n);
+    shard_errors.assign(n, nullptr);
+    shard_clamped.assign(n, 0);
+}
+
+ShardedQueue::~ShardedQueue()
+{
+    if (!workers.empty()) {
+        shutdown.store(true, std::memory_order_relaxed);
+        epoch_go.fetch_add(1, std::memory_order_release);
+        for (std::thread &t : workers)
+            t.join();
+    }
+}
+
+void
+ShardedQueue::scheduleOn(unsigned dst, Tick when, Continuation fn)
+{
+    const unsigned src = (tls_owner == this) ? tls_shard : 0;
+    if (dst == src || !parallel()) {
+        // Same shard (and all of single-shard mode): a plain
+        // scheduleAt keeps the sequential (tick, seq) order — this is
+        // what makes --shards=1 bit-identical to the old engine.
+        queues[dst]->scheduleAt(when, std::move(fn));
+        return;
+    }
+    MsgBuf &buf = outbox(src, dst, write_parity);
+    buf.min_when = std::min(buf.min_when, when);
+    buf.msgs.push_back(Msg{when, std::move(fn)});
+}
+
+void
+ShardedQueue::post(unsigned dst, Continuation fn)
+{
+    const unsigned src = (tls_owner == this) ? tls_shard : 0;
+    scheduleOn(dst, queues[src]->now(), std::move(fn));
+}
+
+void
+ShardedQueue::drainInbox(unsigned shard, unsigned parity)
+{
+    EventQueue &q = *queues[shard];
+    const unsigned n = numShards();
+    // Fixed drain order — src 0..S-1, FIFO within each pair — so the
+    // (tick, seq) keys assigned at delivery depend only on simulation
+    // state, never on thread scheduling.
+    for (unsigned src = 0; src < n; ++src) {
+        MsgBuf &buf = boxes[src * n + shard].bufs[parity];
+        if (buf.msgs.empty())
+            continue;
+        for (Msg &m : buf.msgs) {
+            Tick when = m.when;
+            if (when < q.now()) {
+                // The destination already advanced past the message's
+                // tick (a sub-lookahead edge, or horizon slack):
+                // clamp forward.  Deterministic — q.now() here is a
+                // pure function of the event history.
+                when = q.now();
+                ++shard_clamped[shard];
+            }
+            q.scheduleAt(when, std::move(m.fn));
+        }
+        buf.msgs.clear();
+        buf.min_when = max_tick;
+    }
+}
+
+void
+ShardedQueue::runShard(unsigned shard)
+{
+    try {
+        drainInbox(shard, drain_parity_pub);
+        queues[shard]->run(horizon_pub);
+    } catch (...) {
+        // Park the error; the coordinator rethrows after the barrier
+        // (a worker that unwound past the barrier would deadlock it).
+        shard_errors[shard] = std::current_exception();
+    }
+}
+
+void
+ShardedQueue::workerMain(unsigned shard)
+{
+    tls_owner = this;
+    tls_shard = shard;
+    std::uint64_t next_epoch = 1;
+    unsigned spins = 0;
+    while (true) {
+        while (epoch_go.load(std::memory_order_acquire) < next_epoch) {
+            if (shutdown.load(std::memory_order_relaxed))
+                return;
+            relaxWait(spins);
+        }
+        if (shutdown.load(std::memory_order_relaxed))
+            return;
+        runShard(shard);
+        done_count.fetch_add(1, std::memory_order_release);
+        ++next_epoch;
+    }
+}
+
+void
+ShardedQueue::startWorkers()
+{
+    if (!workers.empty())
+        return;
+    workers.reserve(numShards() - 1);
+    for (unsigned s = 1; s < numShards(); ++s)
+        workers.emplace_back([this, s] { workerMain(s); });
+}
+
+std::uint64_t
+ShardedQueue::runEpoch()
+{
+    const unsigned n = numShards();
+    tls_owner = this;
+    tls_shard = 0;
+
+    // Earliest pending work anywhere: queued events plus messages
+    // written since the last drain (still in bufs[write_parity]).
+    Tick m = max_tick;
+    for (const auto &q : queues)
+        m = std::min(m, q->nextEventTick());
+    for (const Mailbox &box : boxes)
+        m = std::min(m, box.bufs[write_parity].min_when);
+    if (m == max_tick)
+        return 0;
+
+    // horizon = m + lookahead - 1: an event at tick t <= horizon can
+    // only reach another shard at t + lookahead > horizon, so no
+    // message sent this epoch is needed this epoch.  The window adds
+    // deliberate slack on top (see setWindow).
+    const Ticks slack = (lookahead_ > 0 ? lookahead_ - 1 : 0) + window_;
+    horizon_pub = (m > max_tick - slack) ? max_tick : m + slack;
+    drain_parity_pub = write_parity;
+    write_parity ^= 1;
+
+    const std::uint64_t before = executedCount();
+
+    if (n == 1) {
+        drainInbox(0, drain_parity_pub);
+        queues[0]->run(horizon_pub);
+    } else {
+        startWorkers();
+        epoch_go.fetch_add(1, std::memory_order_release);
+        runShard(0);
+        unsigned spins = 0;
+        while (done_count.load(std::memory_order_acquire) != n - 1)
+            relaxWait(spins);
+        done_count.store(0, std::memory_order_relaxed);
+    }
+
+    ++epochs_;
+    std::exception_ptr err = nullptr;
+    for (unsigned s = 0; s < n; ++s) {
+        if (shard_errors[s] && !err)
+            err = shard_errors[s]; // lowest shard wins, deterministic
+        shard_errors[s] = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+    if (epoch_probe)
+        epoch_probe();
+    return executedCount() - before;
+}
+
+std::uint64_t
+ShardedQueue::executedCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : queues)
+        total += q->executedCount();
+    return total;
+}
+
+std::uint64_t
+ShardedQueue::clampedCount() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : shard_clamped)
+        total += c;
+    return total;
+}
+
+} // namespace pei

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Sharded event queues with conservative synchronization.
+ *
+ * A ShardedQueue partitions one simulation across several EventQueues
+ * ("shards"), each driven by its own worker thread: shard 0 runs the
+ * host side (cores, caches, PMU, off-chip links), shards 1..S-1 run
+ * the memory partitions (HMC vaults / DDR channels) the backend maps
+ * onto them via shardFor().  This is classic conservative parallel
+ * discrete-event simulation: all shards advance in lock-step epochs,
+ * each epoch running every event up to a shared horizon
+ *
+ *     horizon = min(next pending tick anywhere) + lookahead - 1
+ *
+ * where the lookahead is the minimum latency of any host-to-partition
+ * edge (the off-chip link propagation time, declared by the memory
+ * backend).  Events separated by at least the lookahead can never
+ * affect each other inside one epoch, so shards need no finer-grained
+ * synchronization than the epoch barrier.
+ *
+ * Cross-shard schedules go through per-(src,dst) mailboxes: plain
+ * double-buffered vectors, written lock-free by exactly one producer
+ * shard and drained by the destination at the next epoch entry (the
+ * barrier provides the happens-before edge).  Delivery clamps a
+ * message's tick to the destination's current time, which keeps every
+ * delivery causally legal and — because horizons, drain order, and
+ * clamp targets depend only on simulation state — bit-deterministic
+ * across runs regardless of thread scheduling.  Edges with a real
+ * latency of at least the lookahead are never clamped, so their
+ * timing is exact; zero-latency return edges (vault completion back
+ * to the host controller) are delayed by at most one epoch window,
+ * which perturbs timing but never architectural results.
+ *
+ * With one shard there are no threads, no mailboxes and no epochs:
+ * scheduleOn() degenerates to EventQueue::scheduleAt on the single
+ * queue, so single-shard runs stay bit-identical to the sequential
+ * engine and remain the golden reference (like PEISIM_REFERENCE_QUEUE
+ * for the slab arena).
+ */
+
+#ifndef PEISIM_SIM_SHARDED_QUEUE_HH
+#define PEISIM_SIM_SHARDED_QUEUE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional> // stdfunction-allowed: cold epoch-probe hook only
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "sim/continuation.hh"
+#include "sim/event_queue.hh"
+
+namespace pei
+{
+
+class ShardedQueue
+{
+  public:
+    /** Probe hook run on the coordinating thread between epochs,
+     *  when every shard is quiescent (no event mid-flight anywhere).
+     *  Cold path; may capture large checker state. */
+    // stdfunction-allowed: cold inter-epoch hook, off the event path
+    using EpochProbe = std::function<void()>;
+
+    explicit ShardedQueue(unsigned nshards = 1);
+    ~ShardedQueue();
+
+    ShardedQueue(const ShardedQueue &) = delete;
+    ShardedQueue &operator=(const ShardedQueue &) = delete;
+
+    unsigned
+    numShards() const
+    {
+        return static_cast<unsigned>(queues.size());
+    }
+
+    /** True when more than one shard exists (worker threads, epochs). */
+    bool parallel() const { return numShards() > 1; }
+
+    EventQueue &shard(unsigned i) { return *queues[i]; }
+
+    /** The host-side shard (cores/caches/PMU always live here). */
+    EventQueue &host() { return *queues[0]; }
+    const EventQueue &host() const { return *queues[0]; }
+
+    /**
+     * Shard that runs memory partition @p partition (an HMC global
+     * vault, a DDR channel).  Partitions round-robin over the worker
+     * shards 1..S-1; with one shard everything maps to shard 0.
+     */
+    unsigned
+    shardFor(unsigned partition) const
+    {
+        const unsigned n = numShards();
+        if (n <= 1)
+            return 0;
+        return 1 + partition % (n - 1);
+    }
+
+    /**
+     * Conservative lookahead in ticks: the minimum latency of any
+     * mailboxed cross-shard edge, declared by the memory backend
+     * (HmcBackend: link propagation; DdrBackend: one burst).  Set
+     * once before the first runEpoch().
+     */
+    void setLookahead(Ticks l) { lookahead_ = l; }
+    Ticks lookahead() const { return lookahead_; }
+
+    /**
+     * Extra horizon slack beyond the lookahead.  Larger windows batch
+     * more events per epoch (amortizing the barriers) at the cost of
+     * clamping cross-shard deliveries by up to the window; timing
+     * becomes approximate within the window, architectural results
+     * are unaffected.  0 (default) keeps the pure-lookahead horizon.
+     */
+    void setWindow(Ticks w) { window_ = w; }
+    Ticks window() const { return window_; }
+
+    /**
+     * Schedule @p fn at absolute tick @p when on shard @p dst.  Same
+     * shard (or single-shard mode): a plain scheduleAt, preserving
+     * the sequential event order exactly.  Cross-shard: appended to
+     * the (src,dst) mailbox and delivered at the next epoch entry,
+     * clamped to the destination's current tick if it has already
+     * advanced past @p when.  Callable from any shard thread during
+     * an epoch and from the coordinating thread between epochs.
+     */
+    void scheduleOn(unsigned dst, Tick when, Continuation fn);
+
+    /**
+     * Schedule @p fn on shard @p dst at the calling shard's current
+     * tick — the zero-latency completion edge (e.g. vault responses
+     * re-entering the host-side controller).  Subject to clamping.
+     */
+    void post(unsigned dst, Continuation fn);
+
+    /**
+     * Run one epoch: drain every mailbox written during the previous
+     * epoch, then run all shards up to the shared horizon and barrier.
+     * @return total events executed across all shards this epoch;
+     * 0 if and only if no events or messages were pending anywhere
+     * (a fully drained simulation), unless a stop was requested.
+     * Exceptions thrown on any shard (panics, probe violations) are
+     * captured and rethrown here, lowest shard index first.
+     */
+    std::uint64_t runEpoch();
+
+    /** Total events executed across all shards since construction. */
+    std::uint64_t executedCount() const;
+
+    /** Epochs completed (1 per runEpoch that found work). */
+    std::uint64_t epochCount() const { return epochs_; }
+
+    /** Cross-shard deliveries clamped forward to the destination's
+     *  current tick (0 when every edge honours the lookahead). */
+    std::uint64_t clampedCount() const;
+
+    /** Install the between-epochs probe (nullptr uninstalls). */
+    void setEpochProbe(EpochProbe fn) { epoch_probe = std::move(fn); }
+
+    /** Forwarders to the host shard's cross-thread stop flag. */
+    void requestStop() { host().requestStop(); }
+    bool stopRequested() const { return host().stopRequested(); }
+    void clearStopRequest() { host().clearStopRequest(); }
+
+  private:
+    /** One cross-shard message: an absolute tick and a continuation. */
+    struct Msg
+    {
+        Tick when;
+        Continuation fn;
+    };
+
+    /**
+     * Double-buffered (src,dst) mailbox.  The producer shard appends
+     * to bufs[write_parity] during an epoch; the destination drains
+     * the other buffer at the next epoch entry.  min_when feeds the
+     * horizon computation so pending messages count as pending work.
+     */
+    struct MsgBuf
+    {
+        std::vector<Msg> msgs;
+        Tick min_when = max_tick;
+    };
+
+    struct Mailbox
+    {
+        MsgBuf bufs[2];
+    };
+
+    MsgBuf &
+    outbox(unsigned src, unsigned dst, unsigned parity)
+    {
+        return boxes[src * numShards() + dst].bufs[parity];
+    }
+
+    void startWorkers();
+    void workerMain(unsigned shard);
+    void drainInbox(unsigned shard, unsigned parity);
+    void runShard(unsigned shard);
+
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::vector<Mailbox> boxes; ///< S*S mailboxes, row-major by src
+
+    Ticks lookahead_ = 0;
+    Ticks window_ = 0;
+    std::uint64_t epochs_ = 0;
+    unsigned write_parity = 0; ///< coordinator-owned, flipped per epoch
+
+    // Epoch parameters, published by the coordinator before the
+    // release increment of epoch_go and read by workers after their
+    // acquire load — plain fields are safe under that protocol.
+    Tick horizon_pub = 0;
+    unsigned drain_parity_pub = 0;
+
+    std::atomic<std::uint64_t> epoch_go{0};
+    std::atomic<unsigned> done_count{0};
+    std::atomic<bool> shutdown{false};
+
+    std::vector<std::thread> workers;      ///< shards 1..S-1, lazy
+    std::vector<std::exception_ptr> shard_errors;
+    std::vector<std::uint64_t> shard_clamped; ///< per-shard clamp count
+
+    EpochProbe epoch_probe; ///< runs quiescent, coordinator thread
+};
+
+} // namespace pei
+
+#endif // PEISIM_SIM_SHARDED_QUEUE_HH

@@ -117,6 +117,38 @@ TEST(EventQueue, StopRequestHonoredWithinCadence)
     EXPECT_EQ(fired, total);
 }
 
+TEST(EventQueue, RunOutcomeReportsBreakReason)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    EventQueue::RunOutcome out = eq.run();
+    EXPECT_EQ(out.executed, 1u);
+    EXPECT_EQ(out.why, EventQueue::RunBreak::Drained);
+    EXPECT_FALSE(out.stopped());
+
+    eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    out = eq.run(15);
+    EXPECT_EQ(out.executed, 1u);
+    EXPECT_EQ(out.why, EventQueue::RunBreak::Limit);
+
+    // A stop request used to look like a drain to raw-loop callers;
+    // the outcome makes the cancellation visible and propagatable.
+    eq.requestStop();
+    out = eq.run();
+    EXPECT_EQ(out.executed, 0u);
+    EXPECT_EQ(out.why, EventQueue::RunBreak::Stopped);
+    EXPECT_TRUE(out.stopped());
+    EXPECT_THROW(out.throwIfStopped(), SimulationStopped);
+    EXPECT_FALSE(eq.empty());
+
+    eq.clearStopRequest();
+    out = eq.run();
+    EXPECT_EQ(out.executed, 1u);
+    EXPECT_EQ(out.why, EventQueue::RunBreak::Drained);
+    out.throwIfStopped(); // no-op on a clean drain
+}
+
 /**
  * The pre-refactor event queue, reimplemented naively: a binary heap
  * of fat nodes each holding a std::function.  Used as the ordering
