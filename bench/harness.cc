@@ -48,8 +48,12 @@ flushLocked()
         if (!results[idx].stats_record.empty())
             records.push_back(results[idx].stats_record);
     }
+    // The hit/miss split is interleaving-independent (one miss per
+    // distinct key), so the document stays deterministic for any
+    // --jobs once the final atexit flush lands.
     writeRunRecords(stats_json_path, bench_name, records,
-                    failure_records);
+                    failure_records,
+                    "\"input_cache\":" + inputCacheCountersJson());
 }
 
 void
@@ -161,6 +165,12 @@ sweepRun()
         }
     }
     flushLocked();
+}
+
+const SweepOptions &
+sweepOptions()
+{
+    return sweep_opts;
 }
 
 const RunResult &

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/options.hh"
 #include "driver/sim_job.hh"
 #include "workloads/workload.hh"
 
@@ -68,6 +69,14 @@ void sweepRun();
 
 /** Result of a submitted run (valid only after sweepRun()). */
 const RunResult &result(RunHandle h);
+
+/**
+ * The harness-level sweep options parsed by benchInit().  Custom
+ * jobs construct their own Systems, so `--mem-backend` / `--shards`
+ * are not applied to them automatically — they read the options here
+ * and opt in themselves.
+ */
+const SweepOptions &sweepOptions();
 
 /** True when every listed run completed Ok — use to guard a row. */
 bool allOk(std::initializer_list<RunHandle> hs);

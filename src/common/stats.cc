@@ -50,6 +50,39 @@ Histogram::approxPercentile(double p) const
     return max_;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    const double rank = p * static_cast<double>(count_ - 1);
+    std::uint64_t before = 0;
+    for (unsigned b = 0; b < num_buckets; ++b) {
+        const std::uint64_t n = buckets_[b];
+        if (n == 0)
+            continue;
+        if (static_cast<double>(before) + static_cast<double>(n) > rank) {
+            const double lo = static_cast<double>(bucketLow(b));
+            const double span =
+                b == 0 ? 0.0
+                       : static_cast<double>(bucketHigh(b)) + 1.0 - lo;
+            double v = lo + span * ((rank - static_cast<double>(before)) /
+                                    static_cast<double>(n));
+            if (v > static_cast<double>(max_))
+                v = static_cast<double>(max_);
+            if (v < static_cast<double>(min_))
+                v = static_cast<double>(min_);
+            return v;
+        }
+        before += n;
+    }
+    return static_cast<double>(max_);
+}
+
 void
 Histogram::reset()
 {
@@ -203,6 +236,9 @@ StatRegistry::histogramsJson() const
         os << "\"" << jsonEscape(name) << "\":{\"count\":" << h->count()
            << ",\"sum\":" << h->sum() << ",\"min\":" << h->min()
            << ",\"max\":" << h->max() << ",\"mean\":" << h->mean()
+           << ",\"p50\":" << h->percentile(0.50)
+           << ",\"p95\":" << h->percentile(0.95)
+           << ",\"p99\":" << h->percentile(0.99)
            << ",\"buckets\":[";
         bool bfirst = true;
         for (unsigned b = 0; b < Histogram::num_buckets; ++b) {

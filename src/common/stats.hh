@@ -130,6 +130,22 @@ class Histogram
      */
     std::uint64_t approxPercentile(double p) const;
 
+    /**
+     * Interpolated percentile (p in [0, 1], clamped).  Semantics:
+     * the target is the fractional rank r = p * (count - 1) over the
+     * samples in ascending order; the bucket holding rank r is found
+     * by cumulative count, and the samples inside that log2 bucket
+     * are assumed uniformly spread over [bucketLow(b),
+     * bucketHigh(b) + 1), so the result is
+     *     bucketLow(b) + span * (r - ranks_before) / bucket_count.
+     * The result is clamped to [min(), max()], which makes the
+     * estimate exact at p = 0 and p = 1 and prevents a sparse top
+     * bucket from inflating the tail.  Returns 0.0 when empty.
+     * With samples 1..8, percentile(0.5) == 4.5 and
+     * percentile(0.95) == 7.65 (see StatsTest.PercentileInterpolates).
+     */
+    double percentile(double p) const;
+
     void reset();
 
   private:

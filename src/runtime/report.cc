@@ -115,6 +115,15 @@ writeRunRecords(const std::string &path, const std::string &tool,
                 const std::vector<std::string> &records,
                 const std::vector<std::string> &failures)
 {
+    writeRunRecords(path, tool, records, failures, "");
+}
+
+void
+writeRunRecords(const std::string &path, const std::string &tool,
+                const std::vector<std::string> &records,
+                const std::vector<std::string> &failures,
+                const std::string &extra_members)
+{
     std::ostringstream os;
     os << "{\"tool\":\"" << jsonEscape(tool) << "\",\"records\":[";
     for (std::size_t i = 0; i < records.size(); ++i) {
@@ -128,7 +137,10 @@ writeRunRecords(const std::string &path, const std::string &tool,
             os << ",";
         os << failures[i];
     }
-    os << "]}";
+    os << "]";
+    if (!extra_members.empty())
+        os << "," << extra_members;
+    os << "}";
     writeStatsJson(path, os.str());
 }
 

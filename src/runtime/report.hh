@@ -56,6 +56,17 @@ void writeRunRecords(const std::string &path, const std::string &tool,
                      const std::vector<std::string> &records,
                      const std::vector<std::string> &failures);
 
+/**
+ * As above, but additionally splices @p extra_members — a
+ * comma-separated sequence of `"key":value` JSON members, e.g.
+ * `"input_cache":{"hits":3,...}` — into the top-level document after
+ * the "failures" array.  Pass "" for no extra members.
+ */
+void writeRunRecords(const std::string &path, const std::string &tool,
+                     const std::vector<std::string> &records,
+                     const std::vector<std::string> &failures,
+                     const std::string &extra_members);
+
 } // namespace pei
 
 #endif // PEISIM_RUNTIME_REPORT_HH

@@ -1,0 +1,96 @@
+#include "queue.hh"
+
+#include "common/logging.hh"
+
+namespace pei
+{
+
+TenantQueues::TenantQueues(const std::vector<TenantTraffic> &tenants,
+                           SchedPolicy policy)
+    : policy_(policy)
+{
+    fatal_if(tenants.empty(), "TenantQueues needs at least one tenant");
+    queues_.resize(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        fatal_if(tenants[i].queue_cap == 0,
+                 "tenant %zu has a zero queue cap", i);
+        fatal_if(tenants[i].weight <= 0.0,
+                 "tenant %zu has a non-positive weight", i);
+        queues_[i].cap = tenants[i].queue_cap;
+        queues_[i].weight = tenants[i].weight;
+    }
+}
+
+bool
+TenantQueues::push(Request *r)
+{
+    panic_if(closed_, "push after close");
+    TQ &tq = queues_[r->tenant];
+    if (tq.q.size() >= tq.cap)
+        return false;
+    tq.q.push_back(r);
+    ++queued_;
+    return true;
+}
+
+Request *
+TenantQueues::pop()
+{
+    if (queued_ == 0)
+        return nullptr;
+
+    std::size_t best = queues_.size();
+    if (policy_ == SchedPolicy::Fifo) {
+        for (std::size_t i = 0; i < queues_.size(); ++i) {
+            if (queues_[i].q.empty())
+                continue;
+            const Request *cand = queues_[i].q.front();
+            if (best == queues_.size())
+                best = i;
+            else {
+                const Request *cur = queues_[best].q.front();
+                if (cand->enqueue_tick < cur->enqueue_tick ||
+                    (cand->enqueue_tick == cur->enqueue_tick &&
+                     cand->id < cur->id)) {
+                    best = i;
+                }
+            }
+        }
+    } else {
+        double best_start = 0.0;
+        for (std::size_t i = 0; i < queues_.size(); ++i) {
+            if (queues_[i].q.empty())
+                continue;
+            const double start =
+                queues_[i].vfinish > vnow_ ? queues_[i].vfinish : vnow_;
+            if (best == queues_.size() || start < best_start) {
+                best = i;
+                best_start = start;
+            }
+        }
+        TQ &tq = queues_[best];
+        const double start = tq.vfinish > vnow_ ? tq.vfinish : vnow_;
+        vnow_ = start;
+        tq.vfinish = start + 1.0 / tq.weight;
+    }
+
+    TQ &tq = queues_[best];
+    Request *r = tq.q.front();
+    tq.q.pop_front();
+    --queued_;
+    return r;
+}
+
+std::uint64_t
+TenantQueues::queuedOf(unsigned tenant) const
+{
+    return queues_[tenant].q.size();
+}
+
+unsigned
+TenantQueues::numTenants() const
+{
+    return static_cast<unsigned>(queues_.size());
+}
+
+} // namespace pei

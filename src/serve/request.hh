@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The unit of work of the serving layer: one client request.
+ *
+ * A request names a PEI kernel (hash-table probe, PageRank fragment,
+ * kNN query) plus a sampled parameter, and carries the four
+ * lifecycle timestamps the tail-latency analysis is built on:
+ *
+ *   enqueue  — arrival at the tenant queue (open-loop: the traffic
+ *              trace's arrival tick; closed-loop: when the client
+ *              finished thinking)
+ *   admit    — popped from the queue by the admission scheduler
+ *   dispatch — the worker starts the kernel (after the batch's
+ *              dispatch overhead)
+ *   retire   — the kernel completed (all PEIs drained)
+ *
+ * Requests are preallocated host-side by the traffic planner and
+ * never move, so raw pointers into the request vector stay valid for
+ * the whole run and per-request records can be compared bit-for-bit
+ * across runs.
+ */
+
+#ifndef PEISIM_SERVE_REQUEST_HH
+#define PEISIM_SERVE_REQUEST_HH
+
+#include <coroutine>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pei
+{
+
+enum class RequestKind : std::uint8_t
+{
+    HashProbe,        ///< chase HashProbe PEIs through the shared table
+    PageRankFragment, ///< FaddDouble contributions of one vertex's edges
+    KnnQuery,         ///< EuclidDist scan of a point window, min host-side
+};
+
+constexpr unsigned num_request_kinds = 3;
+
+inline const char *
+requestKindName(RequestKind k)
+{
+    switch (k) {
+      case RequestKind::HashProbe: return "hash_probe";
+      case RequestKind::PageRankFragment: return "pagerank_fragment";
+      case RequestKind::KnnQuery: return "knn_query";
+    }
+    return "?";
+}
+
+struct Request
+{
+    std::uint64_t id = 0;    ///< index into the traffic plan
+    unsigned tenant = 0;
+    RequestKind kind = RequestKind::HashProbe;
+    /** Kind-specific parameter sampled by the traffic planner (key
+     *  index / source vertex / query index). */
+    std::uint64_t param = 0;
+    /** Open loop: absolute arrival tick from the trace. */
+    Tick arrival_tick = 0;
+
+    // ---- lifecycle stamps (filled during the run) ----
+    Tick enqueue_tick = 0;
+    Tick admit_tick = 0;
+    Tick dispatch_tick = 0;
+    Tick retire_tick = 0;
+    bool shed = false;       ///< rejected at enqueue (queue full)
+    bool completed = false;  ///< kernel retired
+
+    // ---- kernel results (validated host-side after the run) ----
+    std::uint64_t matches = 0; ///< HashProbe: keys found
+    double result = 0.0;       ///< kNN: min distance; PR: sum added
+
+    /** Closed-loop client parked on this request's completion. */
+    std::coroutine_handle<> waiter = {};
+
+    Ticks queueWait() const { return admit_tick - enqueue_tick; }
+    Ticks dispatchWait() const { return dispatch_tick - admit_tick; }
+    Ticks serviceTicks() const { return retire_tick - dispatch_tick; }
+    Ticks totalTicks() const { return retire_tick - enqueue_tick; }
+};
+
+} // namespace pei
+
+#endif // PEISIM_SERVE_REQUEST_HH

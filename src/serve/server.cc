@@ -1,0 +1,477 @@
+#include "server.hh"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "pim/pei_op.hh"
+#include "runtime/runtime.hh"
+
+namespace pei
+{
+
+Server::Server(System &sys, const ServeConfig &cfg)
+    : sys_(sys), cfg_(cfg), state_(cfg.state),
+      queues_(cfg.tenants, cfg.policy)
+{
+    fatal_if(cfg_.workers == 0, "server needs at least one worker");
+    fatal_if(cfg_.batch_max == 0, "batch_max must be >= 1");
+
+    // The traffic planner samples kind parameters over the state's
+    // domains (hot probe keys / hub vertices / popular queries).
+    cfg_.traffic.kind_domain[0] = cfg_.state.probe_universe;
+    cfg_.traffic.kind_domain[1] = cfg_.state.vertices;
+    cfg_.traffic.kind_domain[2] = cfg_.state.queries;
+
+    StatRegistry &reg = sys_.stats();
+    for (std::size_t i = 0; i < cfg_.tenants.size(); ++i) {
+        tstats_.push_back(std::make_unique<TenantStats>());
+        TenantStats *ts = tstats_.back().get();
+        const std::string p = "serve.t" + std::to_string(i) + ".";
+        reg.add(p + "arrivals", &ts->arrivals);
+        reg.add(p + "accepted", &ts->accepted);
+        reg.add(p + "shed", &ts->shed);
+        reg.add(p + "completed", &ts->completed);
+        reg.add(p + "queue_wait_ticks", &ts->queue_wait);
+        reg.add(p + "dispatch_wait_ticks", &ts->dispatch_wait);
+        reg.add(p + "service_ticks", &ts->service);
+        reg.add(p + "total_ticks", &ts->total);
+        reg.addInvariant(p + "admission", [ts] {
+            const auto a = ts->arrivals.value();
+            const auto c = ts->accepted.value();
+            const auto s = ts->shed.value();
+            if (a == c + s)
+                return std::string();
+            return "arrivals " + std::to_string(a) + " != accepted " +
+                   std::to_string(c) + " + shed " + std::to_string(s);
+        });
+        reg.addInvariant(p + "drain", [ts] {
+            const auto c = ts->accepted.value();
+            const auto d = ts->completed.value();
+            if (c == d)
+                return std::string();
+            return "accepted " + std::to_string(c) + " != completed " +
+                   std::to_string(d);
+        });
+    }
+    reg.add("serve.batches", &batches_);
+    reg.add("serve.batch_size", &batch_size_);
+    reg.add("serve.total_ticks", &total_all_);
+    reg.addInvariant("serve.batching", [this] {
+        std::uint64_t accepted = 0;
+        for (const auto &ts : tstats_)
+            accepted += ts->accepted.value();
+        if (batch_size_.sum() == accepted)
+            return std::string();
+        return "batched " + std::to_string(batch_size_.sum()) +
+               " requests != accepted " + std::to_string(accepted);
+    });
+}
+
+void
+Server::setup(Runtime &rt)
+{
+    state_.setup(rt);
+    plan_ = planTraffic(cfg_.traffic, cfg_.tenants);
+    for (const Request &r : plan_.requests) {
+        fatal_if(r.tenant >= cfg_.tenants.size(),
+                 "planned request for unknown tenant %u", r.tenant);
+    }
+    if (plan_.requests.empty())
+        queues_.close(); // nothing will arrive; workers exit at once
+}
+
+void
+Server::start(Runtime &rt)
+{
+    const unsigned cores = sys_.config().cores;
+    for (unsigned w = 0; w < cfg_.workers; ++w) {
+        rt.spawn(w % cores,
+                 [this, w](Ctx &ctx) { return workerLoop(ctx, w); });
+    }
+    if (cfg_.traffic.mode == TrafficMode::ClosedLoop) {
+        for (unsigned c = 0; c < cfg_.traffic.clients; ++c) {
+            rt.spawn(c % cores,
+                     [this, c](Ctx &ctx) { return clientLoop(ctx, c); });
+        }
+    } else {
+        rt.spawn(cores - 1,
+                 [this](Ctx &ctx) { return arrivalDriver(ctx); });
+    }
+}
+
+// --------------------------------------------------------- traffic in
+
+void
+Server::enqueue(Request &r, EventQueue &eq)
+{
+    r.enqueue_tick = eq.now();
+    TenantStats &ts = *tstats_[r.tenant];
+    ++ts.arrivals;
+    if (queues_.push(&r)) {
+        ++ts.accepted;
+    } else {
+        r.shed = true;
+        r.admit_tick = r.enqueue_tick;
+        r.dispatch_tick = r.enqueue_tick;
+        r.retire_tick = r.enqueue_tick;
+        ++ts.shed;
+    }
+    if (++enqueued_ == plan_.requests.size())
+        queues_.close();
+    wakeWorkers(eq);
+}
+
+void
+Server::wakeWorkers(EventQueue &eq)
+{
+    if (parked_.empty())
+        return;
+    auto woken = std::move(parked_);
+    parked_.clear();
+    for (auto h : woken)
+        eq.schedule(0, Continuation([h] { resumeLive(h); }));
+}
+
+Task
+Server::arrivalDriver(Ctx &ctx)
+{
+    EventQueue &eq = ctx.sys().eventQueue();
+    Tick prev = 0;
+    for (Request &r : plan_.requests) {
+        co_await DelayAwaiter(eq, r.arrival_tick - prev);
+        prev = r.arrival_tick;
+        enqueue(r, eq);
+    }
+}
+
+Task
+Server::clientLoop(Ctx &ctx, unsigned cid)
+{
+    EventQueue &eq = ctx.sys().eventQueue();
+    for (const ClientStep &step : plan_.clients[cid]) {
+        co_await DelayAwaiter(eq, step.think);
+        Request &r = plan_.requests[step.request];
+        enqueue(r, eq);
+        if (!r.shed)
+            co_await CompletionAwaiter(r);
+    }
+}
+
+// ------------------------------------------------------------ serving
+
+Task
+Server::workerLoop(Ctx &ctx, unsigned wid)
+{
+    (void)wid;
+    EventQueue &eq = ctx.sys().eventQueue();
+    std::vector<Request *> batch;
+    batch.reserve(cfg_.batch_max);
+    while (true) {
+        batch.clear();
+        while (batch.size() < cfg_.batch_max) {
+            Request *r = queues_.pop();
+            if (!r)
+                break;
+            r->admit_tick = eq.now();
+            batch.push_back(r);
+        }
+        if (batch.empty()) {
+            if (queues_.closed())
+                break;
+            co_await ParkAwaiter(*this);
+            continue;
+        }
+        ++batches_;
+        batch_size_.record(batch.size());
+        co_await ctx.compute(cfg_.dispatch_cost_ticks);
+        for (Request *r : batch) {
+            r->dispatch_tick = eq.now();
+            Task kernel =
+                r->kind == RequestKind::HashProbe
+                    ? hashProbeKernel(ctx, *r)
+                : r->kind == RequestKind::PageRankFragment
+                    ? pageRankKernel(ctx, *r)
+                    : knnKernel(ctx, *r);
+            co_await kernel;
+            r->retire_tick = eq.now();
+            r->completed = true;
+            finishRequest(*r, eq);
+        }
+    }
+}
+
+void
+Server::finishRequest(Request &r, EventQueue &eq)
+{
+    TenantStats &ts = *tstats_[r.tenant];
+    ++ts.completed;
+    ts.queue_wait.record(r.queueWait());
+    ts.dispatch_wait.record(r.dispatchWait());
+    ts.service.record(r.serviceTicks());
+    ts.total.record(r.totalTicks());
+    total_all_.record(r.totalTicks());
+    if (r.waiter) {
+        auto h = r.waiter;
+        r.waiter = {};
+        eq.schedule(0, Continuation([h] { resumeLive(h); }));
+    }
+}
+
+// ------------------------------------------------------------ kernels
+
+Task
+Server::hashProbeKernel(Ctx &ctx, Request &r)
+{
+    const std::uint64_t universe = cfg_.state.probe_universe;
+    for (unsigned j = 0; j < cfg_.state.probes_per_request; ++j) {
+        // Neighborhood of the sampled Zipf index: hot requests probe
+        // hot (present) keys, preserving the skew per probe.
+        const std::uint64_t idx = (r.param + j) % universe;
+        const std::uint64_t key = state_.universeKey(idx);
+        HashProbeIn in{key};
+        Addr baddr = hashTableBucketAddr(state_.tableAddr(),
+                                         state_.numBuckets(), key);
+        while (true) {
+            PimPacket pkt = co_await ctx.pei(PeiOpcode::HashProbe, baddr,
+                                             &in, sizeof(in));
+            if (pkt.output[8]) {
+                ++r.matches;
+                break;
+            }
+            std::uint64_t next;
+            std::memcpy(&next, pkt.output.data(), 8);
+            if (next == 0)
+                break;
+            baddr = next; // host-side pointer chase to the overflow
+        }
+    }
+}
+
+Task
+Server::pageRankKernel(Ctx &ctx, Request &r)
+{
+    const CsrGraph &g = state_.graph();
+    const std::uint64_t v = r.param;
+    const std::uint64_t deg = g.outDegree(v);
+    r.matches = deg;
+    if (deg == 0) {
+        r.result = 0.0;
+        co_return;
+    }
+    const double contrib = 1.0 / static_cast<double>(deg);
+    co_await ctx.load(g.rowPtrAddr(v));
+    Ctx::StreamCursor cur;
+    const std::uint64_t begin = g.rowPtr()[v];
+    const std::uint64_t end = g.rowPtr()[v + 1];
+    for (std::uint64_t e = begin; e < end; ++e) {
+        co_await ctx.streamLoad(g.colIdxAddr(e), cur);
+        const auto dst = ctx.fread<std::uint64_t>(g.colIdxAddr(e));
+        co_await ctx.fadd(state_.rankAddr(dst), contrib);
+    }
+    co_await ctx.drain();
+    r.result = contrib * static_cast<double>(deg);
+}
+
+Task
+Server::knnKernel(Ctx &ctx, Request &r)
+{
+    const float *query = state_.queryVec(r.param);
+    const std::uint64_t w0 = state_.windowStart(r.param);
+    const std::uint64_t wend = w0 + cfg_.state.knn_window;
+    float best = std::numeric_limits<float>::max();
+    for (std::uint64_t p = w0; p < wend; ++p) {
+        co_await ctx.peiAsyncCb(
+            PeiOpcode::EuclidDist, state_.pointAddr(p), query,
+            ServeStateConfig::knn_dims * 4,
+            [&best](const PimPacket &pkt) {
+                float d;
+                std::memcpy(&d, pkt.output.data(), 4);
+                if (d < best)
+                    best = d;
+            });
+    }
+    co_await ctx.drain();
+    r.result = static_cast<double>(best);
+    r.matches = cfg_.state.knn_window;
+}
+
+// --------------------------------------------------------- validation
+
+bool
+Server::validate(System &sys, std::string &msg) const
+{
+    std::vector<double> expected_rank(cfg_.state.vertices, 0.0);
+    for (const Request &r : plan_.requests) {
+        if (r.shed) {
+            if (r.completed) {
+                msg = "serve: shed request " + std::to_string(r.id) +
+                      " was executed";
+                return false;
+            }
+            continue;
+        }
+        if (!r.completed) {
+            msg = "serve: request " + std::to_string(r.id) +
+                  " never completed";
+            return false;
+        }
+        switch (r.kind) {
+          case RequestKind::HashProbe: {
+            std::uint64_t want = 0;
+            for (unsigned j = 0; j < cfg_.state.probes_per_request; ++j) {
+                const std::uint64_t idx =
+                    (r.param + j) % cfg_.state.probe_universe;
+                want += state_.keyPresent(idx) ? 1 : 0;
+            }
+            if (r.matches != want) {
+                msg = "serve: request " + std::to_string(r.id) +
+                      " matched " + std::to_string(r.matches) +
+                      " keys, expected " + std::to_string(want);
+                return false;
+            }
+            break;
+          }
+          case RequestKind::PageRankFragment: {
+            const CsrGraph &g = state_.graph();
+            const std::uint64_t deg = g.outDegree(r.param);
+            const double contrib =
+                deg ? 1.0 / static_cast<double>(deg) : 0.0;
+            for (std::uint64_t e = g.rowPtr()[r.param];
+                 e < g.rowPtr()[r.param + 1]; ++e) {
+                expected_rank[g.colIdx()[e]] += contrib;
+            }
+            break;
+          }
+          case RequestKind::KnnQuery: {
+            const float ref = state_.refKnnMin(r.param);
+            const double tol =
+                1e-4 * (std::fabs(ref) > 1.0 ? std::fabs(ref) : 1.0);
+            if (std::fabs(r.result - static_cast<double>(ref)) > tol) {
+                msg = "serve: request " + std::to_string(r.id) +
+                      " kNN min " + std::to_string(r.result) +
+                      ", expected " + std::to_string(ref);
+                return false;
+            }
+            break;
+          }
+        }
+    }
+
+    // FaddDouble contributions land in scheduling order, the host
+    // reference accumulates in request order — compare with an
+    // FP-associativity tolerance.
+    for (std::uint64_t v = 0; v < cfg_.state.vertices; ++v) {
+        const double got =
+            sys.memory().read<double>(state_.rankAddr(v));
+        const double want = expected_rank[v];
+        if (std::fabs(got - want) >
+            1e-6 + 1e-9 * std::fabs(want)) {
+            msg = "serve: rank[" + std::to_string(v) + "] is " +
+                  std::to_string(got) + ", expected " +
+                  std::to_string(want);
+            return false;
+        }
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ reports
+
+ServingSummary
+Server::summary() const
+{
+    ServingSummary s;
+    for (std::size_t i = 0; i < tstats_.size(); ++i) {
+        const TenantStats &ts = *tstats_[i];
+        s.arrivals += ts.arrivals.value();
+        s.accepted += ts.accepted.value();
+        s.shed += ts.shed.value();
+        s.completed += ts.completed.value();
+        TenantSummary t;
+        t.completed = ts.completed.value();
+        t.shed = ts.shed.value();
+        t.p50 = ts.total.percentile(0.50);
+        t.p95 = ts.total.percentile(0.95);
+        t.p99 = ts.total.percentile(0.99);
+        t.mean = ts.total.mean();
+        s.tenants.push_back(t);
+    }
+    for (const Request &r : plan_.requests) {
+        if (r.enqueue_tick > s.last_enqueue)
+            s.last_enqueue = r.enqueue_tick;
+        if (r.completed && r.retire_tick > s.last_retire)
+            s.last_retire = r.retire_tick;
+    }
+    if (s.last_enqueue) {
+        s.offered_per_mtick = 1e6 * static_cast<double>(s.arrivals) /
+                              static_cast<double>(s.last_enqueue);
+    }
+    if (s.last_retire) {
+        s.achieved_per_mtick = 1e6 * static_cast<double>(s.completed) /
+                               static_cast<double>(s.last_retire);
+    }
+    s.p50 = total_all_.percentile(0.50);
+    s.p95 = total_all_.percentile(0.95);
+    s.p99 = total_all_.percentile(0.99);
+    s.mean = total_all_.mean();
+    return s;
+}
+
+std::string
+Server::summaryJson() const
+{
+    const ServingSummary s = summary();
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"traffic\":\"" << trafficModeName(cfg_.traffic.mode)
+       << "\",\"policy\":\"" << schedPolicyName(cfg_.policy)
+       << "\",\"workers\":" << cfg_.workers
+       << ",\"batch_max\":" << cfg_.batch_max
+       << ",\"requests\":" << plan_.requests.size()
+       << ",\"arrivals\":" << s.arrivals
+       << ",\"accepted\":" << s.accepted
+       << ",\"shed\":" << s.shed
+       << ",\"completed\":" << s.completed
+       << ",\"offered_per_mtick\":" << s.offered_per_mtick
+       << ",\"achieved_per_mtick\":" << s.achieved_per_mtick
+       << ",\"last_enqueue_tick\":" << s.last_enqueue
+       << ",\"last_retire_tick\":" << s.last_retire
+       << ",\"latency_ticks\":{\"p50\":" << s.p50
+       << ",\"p95\":" << s.p95 << ",\"p99\":" << s.p99
+       << ",\"mean\":" << s.mean << "}"
+       << ",\"tenants\":[";
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+        const TenantSummary &t = s.tenants[i];
+        if (i)
+            os << ",";
+        os << "{\"id\":" << i
+           << ",\"weight\":" << cfg_.tenants[i].weight
+           << ",\"completed\":" << t.completed
+           << ",\"shed\":" << t.shed
+           << ",\"p50\":" << t.p50 << ",\"p95\":" << t.p95
+           << ",\"p99\":" << t.p99 << ",\"mean\":" << t.mean << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+Server::requestTrace() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const Request &r : plan_.requests) {
+        os << r.id << " " << r.tenant << " " << requestKindName(r.kind)
+           << " " << r.param << " " << r.arrival_tick << " "
+           << r.enqueue_tick << " " << r.admit_tick << " "
+           << r.dispatch_tick << " " << r.retire_tick << " "
+           << (r.shed ? 1 : 0) << " " << r.matches << " " << r.result
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pei

@@ -1,0 +1,159 @@
+#include "traffic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+/** Exponential sample with mean @p mean_ticks, rounded to >= 1. */
+Ticks
+expTicks(Rng &rng, double mean_ticks)
+{
+    // uniform() is in [0, 1); 1-u is in (0, 1] so the log is finite.
+    const double u = rng.uniform();
+    const double x = -std::log(1.0 - u) * mean_ticks;
+    const double r = std::llround(x);
+    return r < 1.0 ? 1 : static_cast<Ticks>(r);
+}
+
+/** Pick an index by relative weights (cumulative scan). */
+unsigned
+pickWeighted(Rng &rng, const std::vector<double> &weights, double total)
+{
+    const double u = rng.uniform() * total;
+    double acc = 0.0;
+    for (unsigned i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (u < acc)
+            return i;
+    }
+    return static_cast<unsigned>(weights.size() - 1);
+}
+
+/** Sample tenant, kind, and parameter for one request. */
+void
+sampleRequestBody(Request &r, Rng &rng,
+                  const std::vector<TenantTraffic> &tenants,
+                  const std::vector<double> &shares, double share_total,
+                  std::vector<ZipfSampler> &zipfs)
+{
+    r.tenant = pickWeighted(rng, shares, share_total);
+    const TenantTraffic &tt = tenants[r.tenant];
+    std::vector<double> mix(tt.kind_mix, tt.kind_mix + num_request_kinds);
+    double mix_total = 0.0;
+    for (double m : mix)
+        mix_total += m;
+    const unsigned kind = pickWeighted(rng, mix, mix_total);
+    r.kind = static_cast<RequestKind>(kind);
+    r.param = zipfs[kind].sample();
+}
+
+} // namespace
+
+TrafficPlan
+planTraffic(const TrafficConfig &cfg,
+            const std::vector<TenantTraffic> &tenants)
+{
+    fatal_if(tenants.empty(), "traffic plan needs at least one tenant");
+    fatal_if(cfg.offered_per_mtick <= 0.0, "offered rate must be > 0");
+
+    TrafficPlan plan;
+    Rng rng(cfg.seed ^ 0x5E47);
+
+    std::vector<double> shares;
+    double share_total = 0.0;
+    for (const TenantTraffic &tt : tenants) {
+        fatal_if(tt.arrival_share <= 0.0, "tenant share must be > 0");
+        shares.push_back(tt.arrival_share);
+        share_total += tt.arrival_share;
+    }
+
+    // One independent Zipf stream per request kind, over that kind's
+    // own domain (hot probe keys, hub vertices, popular queries).
+    std::vector<ZipfSampler> zipfs;
+    for (unsigned k = 0; k < num_request_kinds; ++k) {
+        zipfs.emplace_back(cfg.kind_domain[k], cfg.zipf_s,
+                           cfg.seed ^ (0xA110C8ULL + k));
+    }
+
+    if (cfg.mode == TrafficMode::ClosedLoop) {
+        const std::uint64_t total =
+            std::uint64_t{cfg.clients} * cfg.requests_per_client;
+        plan.requests.resize(total);
+        plan.clients.resize(cfg.clients);
+        std::uint64_t id = 0;
+        for (unsigned c = 0; c < cfg.clients; ++c) {
+            for (unsigned i = 0; i < cfg.requests_per_client; ++i) {
+                Request &r = plan.requests[id];
+                r.id = id;
+                sampleRequestBody(r, rng, tenants, shares, share_total,
+                                  zipfs);
+                // Closed loop keeps a client on one tenant so the
+                // weighted-fair share comparison is meaningful.
+                r.tenant = c % tenants.size();
+                ClientStep step;
+                step.think = expTicks(
+                    rng, static_cast<double>(cfg.think_mean_ticks));
+                step.request = id;
+                plan.clients[c].push_back(step);
+                ++id;
+            }
+        }
+        return plan;
+    }
+
+    // Open-loop modes: pre-sample the entire arrival time series.
+    const double mean_inter =
+        1e6 / cfg.offered_per_mtick; // ticks between arrivals
+
+    // MMPP-2 phase machine (OpenPoisson never flips out of "low",
+    // whose rate is then exactly the offered rate).
+    double mean_lo = mean_inter;
+    double mean_hi = mean_inter;
+    double dwell_lo = 0.0;
+    double dwell_hi = 0.0;
+    bool bursty = cfg.mode == TrafficMode::OpenBursty;
+    if (bursty) {
+        const double f = cfg.burst_fraction;
+        const double ratio = cfg.burst_ratio;
+        fatal_if(f <= 0.0 || f >= 1.0,
+                 "burst_fraction must be in (0, 1)");
+        fatal_if(ratio <= 1.0, "burst_ratio must be > 1");
+        // rate_lo * (1-f) + rate_hi * f == offered, rate_hi == R*rate_lo.
+        const double rate = 1.0 / mean_inter;
+        const double rate_lo = rate / (1.0 - f + ratio * f);
+        mean_lo = 1.0 / rate_lo;
+        mean_hi = mean_lo / ratio;
+        dwell_hi = static_cast<double>(cfg.burst_dwell_hi);
+        dwell_lo = dwell_hi * (1.0 - f) / f;
+    }
+
+    plan.requests.resize(cfg.requests);
+    Tick t = 0;
+    bool high = false;
+    double phase_end =
+        bursty ? static_cast<double>(expTicks(rng, dwell_lo)) : 0.0;
+    for (std::uint64_t i = 0; i < cfg.requests; ++i) {
+        if (bursty) {
+            while (static_cast<double>(t) >= phase_end) {
+                high = !high;
+                phase_end += static_cast<double>(
+                    expTicks(rng, high ? dwell_hi : dwell_lo));
+            }
+        }
+        t += expTicks(rng, high ? mean_hi : mean_lo);
+        Request &r = plan.requests[i];
+        r.id = i;
+        r.arrival_tick = t;
+        sampleRequestBody(r, rng, tenants, shares, share_total, zipfs);
+    }
+    return plan;
+}
+
+} // namespace pei

@@ -5,22 +5,21 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "pim/pei_op.hh"
+#include "workloads/hash_table.hh"
 #include "workloads/input_cache.hh"
 
 namespace pei
 {
 
 /**
- * Memoized host-side hash-join input: the bucket image is stored
- * with chain links as bucket *indices* (chain_next, index+1 or 0) so
- * the cached data is independent of where the table lands in each
- * run's simulated address space; setup() resolves them to addresses.
+ * Memoized host-side hash-join input: the bucket image stores chain
+ * links as indices (see HashTableImage) so the cached data is
+ * independent of where the table lands in each run's simulated
+ * address space; setup() resolves them to addresses.
  */
 struct HashJoinInput
 {
-    std::uint64_t num_buckets = 0;
-    std::vector<HashBucket> buckets;
-    std::vector<std::uint64_t> chain_next;
+    HashTableImage table;
     std::vector<std::uint64_t> probe_keys;
     std::uint64_t expected_matches = 0;
 };
@@ -43,25 +42,6 @@ cachedRandomU32(std::uint64_t count, std::uint64_t seed)
     });
 }
 
-/** SplitMix64 finalizer used as the (shared) bucket hash. */
-std::uint64_t
-hashKey(std::uint64_t key)
-{
-    std::uint64_t x = key + 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-}
-
-std::uint64_t
-nextPow2(std::uint64_t v)
-{
-    std::uint64_t p = 1;
-    while (p < v)
-        p <<= 1;
-    return p;
-}
-
 } // namespace
 
 // ----------------------------------------------------------------- HJ
@@ -80,30 +60,7 @@ genHashJoinInput(std::uint64_t build_rows, std::uint64_t probe_rows,
     for (auto &k : build_keys)
         k = rng.next() | 1; // nonzero keys
 
-    // Bucket-chained table, ~4 keys per primary bucket.
-    in.num_buckets = nextPow2(std::max<std::uint64_t>(build_rows / 4, 1));
-    in.buckets.resize(in.num_buckets);
-    in.chain_next.assign(in.num_buckets, 0); // index+1 or 0
-
-    auto bucket_of = [&](std::uint64_t key) {
-        return hashKey(key) & (in.num_buckets - 1);
-    };
-
-    for (const auto key : build_keys) {
-        std::uint64_t b = bucket_of(key);
-        while (true) {
-            if (in.buckets[b].count < HashBucket::max_keys) {
-                in.buckets[b].keys[in.buckets[b].count++] = key;
-                break;
-            }
-            if (in.chain_next[b] == 0) {
-                in.buckets.push_back(HashBucket{});
-                in.chain_next.push_back(0);
-                in.chain_next[b] = in.buckets.size(); // index+1
-            }
-            b = in.chain_next[b] - 1;
-        }
-    }
+    in.table = buildHashTable(build_keys);
 
     // Probe relation: ~50% hits.
     std::unordered_set<std::uint64_t> build_set(build_keys.begin(),
@@ -135,21 +92,10 @@ HashJoinWorkload::setup(Runtime &rt)
     input = &cachedInput<HashJoinInput>(key, [this] {
         return genHashJoinInput(build_rows, probe_rows, seed);
     });
-    num_buckets = input->num_buckets;
+    num_buckets = input->table.num_buckets;
 
-    table_addr =
-        rt.alloc(input->buckets.size() * sizeof(HashBucket), block_size);
+    table_addr = materializeHashTable(rt, input->table);
     VirtualMemory &vm = rt.system().memory();
-    for (std::size_t i = 0; i < input->buckets.size(); ++i) {
-        // Resolve the cached index links against this run's table
-        // base before copying the bucket into simulated memory.
-        HashBucket bucket = input->buckets[i];
-        bucket.next = input->chain_next[i]
-                          ? table_addr +
-                                (input->chain_next[i] - 1) * block_size
-                          : 0;
-        vm.write(table_addr + i * block_size, bucket);
-    }
 
     probe_addr = rt.allocArray<std::uint64_t>(probe_rows);
     expected_matches = input->expected_matches;
@@ -167,8 +113,7 @@ HashJoinWorkload::probeStream(Ctx &ctx, std::uint64_t begin,
         co_await ctx.streamLoad(probe_addr + 8 * i, key_cur);
         const auto key = ctx.fread<std::uint64_t>(probe_addr + 8 * i);
         HashProbeIn in{key};
-        Addr baddr =
-            table_addr + (hashKey(key) & (num_buckets - 1)) * block_size;
+        Addr baddr = hashTableBucketAddr(table_addr, num_buckets, key);
         while (true) {
             PimPacket pkt = co_await ctx.pei(PeiOpcode::HashProbe, baddr,
                                              &in, sizeof(in));

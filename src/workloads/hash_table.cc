@@ -1,0 +1,76 @@
+#include "hash_table.hh"
+
+#include <algorithm>
+
+#include "runtime/runtime.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    std::uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::uint64_t
+hashTableHash(std::uint64_t key)
+{
+    std::uint64_t x = key + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+HashTableImage
+buildHashTable(const std::vector<std::uint64_t> &keys)
+{
+    HashTableImage img;
+    img.num_buckets =
+        nextPow2(std::max<std::uint64_t>(keys.size() / 4, 1));
+    img.buckets.resize(img.num_buckets);
+    img.chain_next.assign(img.num_buckets, 0);
+
+    for (const auto key : keys) {
+        std::uint64_t b = hashTableHash(key) & (img.num_buckets - 1);
+        while (true) {
+            if (img.buckets[b].count < HashBucket::max_keys) {
+                img.buckets[b].keys[img.buckets[b].count++] = key;
+                break;
+            }
+            if (img.chain_next[b] == 0) {
+                img.buckets.push_back(HashBucket{});
+                img.chain_next.push_back(0);
+                img.chain_next[b] = img.buckets.size(); // index+1
+            }
+            b = img.chain_next[b] - 1;
+        }
+    }
+    return img;
+}
+
+Addr
+materializeHashTable(Runtime &rt, const HashTableImage &img)
+{
+    const Addr table =
+        rt.alloc(img.buckets.size() * sizeof(HashBucket), block_size);
+    VirtualMemory &vm = rt.system().memory();
+    for (std::size_t i = 0; i < img.buckets.size(); ++i) {
+        HashBucket bucket = img.buckets[i];
+        bucket.next = img.chain_next[i]
+                          ? table + (img.chain_next[i] - 1) * block_size
+                          : 0;
+        vm.write(table + i * block_size, bucket);
+    }
+    return table;
+}
+
+} // namespace pei

@@ -1,6 +1,9 @@
 #include "input_cache.hh"
 
 #include <map>
+#include <sstream>
+
+#include "common/stats.hh"
 
 namespace pei
 {
@@ -14,8 +17,10 @@ struct Cache
     // unique_ptr values: entry addresses must survive rehash/insert
     // so the per-entry once_flag can be used outside the map lock.
     std::map<std::string, std::unique_ptr<detail::CacheEntry>> entries;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    // Counter-backed so the totals can be registered with a
+    // StatRegistry; every update happens under `mutex`.
+    Counter hits;
+    Counter misses;
 };
 
 Cache &
@@ -52,8 +57,26 @@ inputCacheCounters()
 {
     Cache &c = cache();
     std::lock_guard<std::mutex> lock(c.mutex);
-    return {c.hits, c.misses,
+    return {c.hits.value(), c.misses.value(),
             static_cast<std::uint64_t>(c.entries.size())};
+}
+
+std::string
+inputCacheCountersJson()
+{
+    const InputCacheCounters snap = inputCacheCounters();
+    std::ostringstream os;
+    os << "{\"hits\":" << snap.hits << ",\"misses\":" << snap.misses
+       << ",\"entries\":" << snap.entries << "}";
+    return os.str();
+}
+
+void
+registerInputCacheStats(StatRegistry &reg)
+{
+    Cache &c = cache();
+    reg.add("input_cache.hits", &c.hits);
+    reg.add("input_cache.misses", &c.misses);
 }
 
 void
@@ -62,8 +85,8 @@ clearInputCache()
     Cache &c = cache();
     std::lock_guard<std::mutex> lock(c.mutex);
     c.entries.clear();
-    c.hits = 0;
-    c.misses = 0;
+    c.hits.reset();
+    c.misses.reset();
 }
 
 } // namespace pei

@@ -290,6 +290,67 @@ TEST(Stats, AuditReportsViolationsWithValues)
     EXPECT_TRUE(reg.audit().empty());
 }
 
+TEST(Stats, PercentileInterpolates)
+{
+    // Samples 1..8 land in log2 buckets 1:[1,2) 2:[2,4) 3:[4,8)
+    // 4:[8,16) with counts 1/2/4/1.  percentile() targets fractional
+    // rank p*(count-1) and spreads each bucket's samples uniformly
+    // over [bucketLow, bucketHigh+1): p50 -> rank 3.5, bucket 3 holds
+    // ranks 3..6, so 4 + 4*(0.5/4) = 4.5; p95 -> rank 6.65, so
+    // 4 + 4*(3.65/4) = 7.65.
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 8; ++v)
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 7.65);
+    // The extremes clamp to the recorded min/max.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+}
+
+TEST(Stats, PercentileClampsToObservedRange)
+{
+    // 0..99 once each: p50 -> rank 49.5 inside bucket [32,64) (ranks
+    // 32..63), 32 + 32*(17.5/32) = 49.5 exactly.  p99 -> rank 98.01
+    // inside [64,128), whose uniform spread would extrapolate to
+    // ~124 — the clamp pins it to the observed max instead.
+    Histogram h;
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 49.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 24.75);
+}
+
+TEST(Stats, PercentileEdgeCases)
+{
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+    Histogram one;
+    one.record(42);
+    EXPECT_DOUBLE_EQ(one.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(1.0), 42.0);
+
+    // Out-of-range p is clamped, not an error.
+    EXPECT_DOUBLE_EQ(one.percentile(-1.0), 42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(2.0), 42.0);
+}
+
+TEST(Stats, HistogramJsonCarriesPercentiles)
+{
+    StatRegistry reg;
+    Histogram h;
+    reg.add("x.lat", &h);
+    for (std::uint64_t v = 1; v <= 8; ++v)
+        h.record(v);
+    const std::string hists = reg.histogramsJson();
+    EXPECT_NE(hists.find("\"p50\":4.5"), std::string::npos);
+    EXPECT_NE(hists.find("\"p95\":7.65"), std::string::npos);
+    EXPECT_NE(hists.find("\"p99\":"), std::string::npos);
+}
+
 TEST(Types, Conversions)
 {
     EXPECT_EQ(nsToTicks(1.0), 4u);
