@@ -68,6 +68,8 @@ runServe(ExecMode mode, const ServeConfig &scfg, const std::string &label,
     const SweepOptions &opts = peibench::sweepOptions();
     if (!opts.mem_backend.empty())
         cfg.mem_backend = opts.mem_backend;
+    if (!opts.coherence.empty())
+        cfg.pim.coherence.policy = opts.coherence;
     if (opts.shards)
         cfg.shards = opts.shards;
     System sys(cfg);

@@ -66,10 +66,13 @@ flushAtExit()
 RunHandle
 submitJob(const std::string &label, SimJob &&sim)
 {
-    // --mem-backend / --shards apply to every submitted simulation
-    // (custom jobs construct their own Systems and opt in themselves).
+    // --mem-backend / --coherence / --shards apply to every submitted
+    // simulation (custom jobs construct their own Systems and opt in
+    // themselves).
     if (sim.mem_backend.empty())
         sim.mem_backend = sweep_opts.mem_backend;
+    if (sim.coherence.empty())
+        sim.coherence = sweep_opts.coherence;
     if (!sim.shards)
         sim.shards = sweep_opts.shards;
     return sweep.add(label, [sim = std::move(sim)](JobCtx &ctx) {

@@ -23,6 +23,8 @@ injectBugName(InjectBug b)
         return "skip-unlock";
       case InjectBug::SkipBackInval:
         return "skip-back-inval";
+      case InjectBug::SkipConflictCheck:
+        return "skip-conflict-check";
       case InjectBug::None:
         break;
     }
@@ -73,6 +75,16 @@ fuzzConfig(unsigned config_index, std::uint64_t master_seed, ExecMode mode)
     // behavior is comparable across backends.
     cfg.ddr.channels = cfg.hmc.vaults_per_cube;
     cfg.ideal_mem.pim_units = cfg.hmc.vaults_per_cube;
+
+    // Coherence draws come last for the same replay-stability
+    // reason: every draw above (and thus every pre-existing fuzzed
+    // geometry and backend) is unchanged.  Small signatures and
+    // batches crank up speculation pressure (aliasing, frequent
+    // commits) on the lazy policy; eager ignores them.
+    static const char *const policies[] = {"eager", "lazy"};
+    cfg.pim.coherence.policy = policies[rng.below(2)];
+    cfg.pim.coherence.signature_bits = rng.chance(0.5) ? 64 : 256;
+    cfg.pim.coherence.batch_peis = rng.chance(0.5) ? 4 : 16;
     return cfg;
 }
 
@@ -163,6 +175,12 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
         cfg.mem_backend = opt.backend;
     if (!id.backend.empty())
         cfg.mem_backend = id.backend; // a pinned reproducer wins
+    if (!opt.coherence.empty())
+        cfg.pim.coherence.policy = opt.coherence;
+    if (!id.coherence.empty())
+        cfg.pim.coherence.policy = id.coherence;
+    if (opt.inject == InjectBug::SkipConflictCheck)
+        cfg.pim.coherence.policy = "lazy"; // the injection's target
     cfg.shards = opt.shards;
     System sys(cfg);
     std::optional<WatchGuard> guard;
@@ -175,6 +193,9 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
         break;
       case InjectBug::SkipBackInval:
         sys.caches().injectSkipBackInvalidate(1);
+        break;
+      case InjectBug::SkipConflictCheck:
+        sys.pmu().coherence().injectSkipConflictCheck(1);
         break;
       case InjectBug::None:
         break;
@@ -335,6 +356,8 @@ FuzzCaseResult::summary() const
     os << "case seed=" << hex(id.seed) << " config=" << id.config;
     if (!id.backend.empty())
         os << " backend=" << id.backend;
+    if (!id.coherence.empty())
+        os << " coherence=" << id.coherence;
     if (id.prefix != full_prefix)
         os << " prefix=" << id.prefix;
     if (id.thread_mask != 0xffffffffu)
@@ -362,6 +385,17 @@ runFuzzCase(const FuzzCaseId &id, const FuzzOptions &opt, JobCtx *ctx)
                 : fuzzConfig(id.config, opt.master_seed,
                              ExecMode::HostOnly)
                       .mem_backend;
+    }
+    // The coherence policy is pinned the same way (the conflict-check
+    // injection targets lazy, so it forces the pin).
+    if (res.id.coherence.empty()) {
+        res.id.coherence =
+            opt.inject == InjectBug::SkipConflictCheck ? "lazy"
+            : !opt.coherence.empty()
+                ? opt.coherence
+                : fuzzConfig(id.config, opt.master_seed,
+                             ExecMode::HostOnly)
+                      .pim.coherence.policy;
     }
 
     const FuzzProgram prog =
@@ -481,6 +515,8 @@ replayFileContents(const FuzzCaseId &id, const FuzzOptions &opt)
     os << "thread_mask=" << hex(id.thread_mask) << "\n";
     if (!id.backend.empty())
         os << "backend=" << id.backend << "\n";
+    if (!id.coherence.empty())
+        os << "coherence=" << id.coherence << "\n";
     return os.str();
 }
 
@@ -517,6 +553,8 @@ parseReplayFile(const std::string &text, FuzzCaseId &id, FuzzOptions &opt)
                     opt.inject = InjectBug::SkipUnlock;
                 else if (value == "skip-back-inval")
                     opt.inject = InjectBug::SkipBackInval;
+                else if (value == "skip-conflict-check")
+                    opt.inject = InjectBug::SkipConflictCheck;
                 else
                     return false;
             } else if (key == "seed") {
@@ -534,6 +572,8 @@ parseReplayFile(const std::string &text, FuzzCaseId &id, FuzzOptions &opt)
                     std::stoul(value, nullptr, 0));
             } else if (key == "backend") {
                 id.backend = value;
+            } else if (key == "coherence") {
+                id.coherence = value;
             } else {
                 return false;
             }
@@ -556,6 +596,8 @@ replayCommand(const FuzzCaseId &id, const FuzzOptions &opt)
         os << " --replay-mask " << hex(id.thread_mask);
     if (!id.backend.empty())
         os << " --replay-backend " << id.backend;
+    if (!id.coherence.empty())
+        os << " --replay-coherence " << id.coherence;
     os << " --master-seed " << opt.master_seed << " --configs "
        << opt.num_configs;
     if (opt.inject != InjectBug::None)

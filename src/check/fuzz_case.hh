@@ -41,6 +41,11 @@ struct FuzzCaseId
      * drawing scheme changes later.
      */
     std::string backend;
+    /**
+     * Coherence policy the case ran under ("eager"/"lazy"); pinned
+     * the same way as @ref backend for reproducer stability.
+     */
+    std::string coherence;
 };
 
 /** Hidden fault injections validating the checker itself. */
@@ -49,6 +54,9 @@ enum class InjectBug
     None,
     SkipUnlock,    ///< PimDirectory skips its first release()
     SkipBackInval, ///< CacheHierarchy skips its first back-invalidation
+    /** Lazy coherence skips its first commit's conflict check
+     *  (forces the lazy policy on). */
+    SkipConflictCheck,
 };
 
 const char *injectBugName(InjectBug b);
@@ -62,6 +70,8 @@ struct FuzzOptions
     InjectBug inject = InjectBug::None;
     /** Force every case onto one backend; empty = fuzzed per config. */
     std::string backend;
+    /** Force one coherence policy; empty = fuzzed per config. */
+    std::string coherence;
     /**
      * Event-queue shards per simulated System (`--shards`).  1 = the
      * sequential engine; N > 1 runs every mode of every case on the

@@ -49,18 +49,20 @@ usage(const char *argv0)
         "  --configs K          fuzzed configs in rotation (default 4)\n"
         "  --probe-every N      probe cadence in events (default 64)\n"
         "  --inject-bug B       checker self-test: skip-unlock |\n"
-        "                       skip-back-inval\n"
+        "                       skip-back-inval | skip-conflict-check\n"
         "  --no-shrink          report failures without minimizing\n"
         "  --max-failures N     stop shrinking after N failures "
         "(default 4)\n"
         "  --failure-dir DIR    write reproducer files for failures\n"
         "  --mem-backend B      pin every case to one memory backend\n"
         "                       (default: fuzzed per config)\n"
+        "  --coherence P        pin every case to one coherence policy\n"
+        "                       (eager | lazy; default: fuzzed)\n"
         "  --shards N           event-queue shards per System\n"
         "                       (default 1 = sequential engine)\n"
         "  --replay-seed S      replay one case (with --replay-config,\n"
         "                       --replay-prefix, --replay-mask,\n"
-        "                       --replay-backend)\n"
+        "                       --replay-backend, --replay-coherence)\n"
         "  --replay-file FILE   replay a written reproducer\n"
         "  --jobs N / --timeout-s S / --no-progress  (sweep driver)\n",
         argv0);
@@ -110,6 +112,8 @@ replayOne(const FuzzCaseId &id, const FuzzOptions &opt)
                 static_cast<unsigned long long>(id.seed), id.config);
     if (!id.backend.empty())
         std::printf(" backend=%s", id.backend.c_str());
+    if (!id.coherence.empty())
+        std::printf(" coherence=%s", id.coherence.c_str());
     if (id.prefix != full_prefix)
         std::printf(" prefix=%zu", id.prefix);
     if (id.thread_mask != 0xffffffffu)
@@ -164,6 +168,8 @@ main(int argc, char **argv)
         failure_dir = *v;
     if (const auto v = flagValue(argc, argv, "--mem-backend"))
         fopt.backend = *v;
+    if (const auto v = flagValue(argc, argv, "--coherence"))
+        fopt.coherence = *v;
     if (const auto v = flagValue(argc, argv, "--shards"))
         fopt.shards = static_cast<unsigned>(parseU64(*v, "--shards"));
     if (const auto v = flagValue(argc, argv, "--inject-bug")) {
@@ -171,6 +177,8 @@ main(int argc, char **argv)
             fopt.inject = InjectBug::SkipUnlock;
         } else if (*v == "skip-back-inval") {
             fopt.inject = InjectBug::SkipBackInval;
+        } else if (*v == "skip-conflict-check") {
+            fopt.inject = InjectBug::SkipConflictCheck;
         } else {
             std::fprintf(stderr, "simfuzz: unknown --inject-bug '%s'\n",
                          v->c_str());
@@ -214,6 +222,8 @@ main(int argc, char **argv)
                 parseU64(*v, "--replay-mask"));
         if (const auto v = flagValue(argc, argv, "--replay-backend"))
             id.backend = *v;
+        if (const auto v = flagValue(argc, argv, "--replay-coherence"))
+            id.coherence = *v;
         return replayOne(id, fopt);
     }
 
@@ -221,8 +231,15 @@ main(int argc, char **argv)
         fopt.shards > 1
             ? ", " + std::to_string(fopt.shards) + " shards"
             : "";
+    // Pinning the default policy explicitly must not change stdout
+    // (the CI byte-identity leg diffs `--coherence eager` against a
+    // plain run), so the header notes only a non-default pin.
+    const std::string coherence_note =
+        !fopt.coherence.empty() && fopt.coherence != "eager"
+            ? ", coherence " + fopt.coherence
+            : "";
     std::printf("simfuzz: %llu case(s), %u fuzzed config(s), "
-                "master seed %llu, probe every %llu event(s)%s%s%s%s%s\n",
+                "master seed %llu, probe every %llu event(s)%s%s%s%s%s%s\n",
                 static_cast<unsigned long long>(cases),
                 fopt.num_configs,
                 static_cast<unsigned long long>(fopt.master_seed),
@@ -232,7 +249,8 @@ main(int argc, char **argv)
                     ? injectBugName(fopt.inject)
                     : "",
                 fopt.backend.empty() ? "" : ", backend ",
-                fopt.backend.c_str(), shards_note.c_str());
+                fopt.backend.c_str(), coherence_note.c_str(),
+                shards_note.c_str());
 
     Sweep sweep;
     std::vector<FuzzCaseResult> results(cases);

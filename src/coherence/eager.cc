@@ -1,0 +1,50 @@
+#include "eager.hh"
+
+#include "cache/hierarchy.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+/** 16-byte link flits needed to carry @p bytes. */
+constexpr std::uint64_t
+flits(unsigned bytes)
+{
+    return (bytes + 15u) / 16u;
+}
+
+/** One block of writeback data plus its 16-byte packet header. */
+constexpr std::uint64_t data_flits = flits(16 + block_size);
+
+} // namespace
+
+EagerCoherence::EagerCoherence(CacheHierarchy &hierarchy,
+                               StatRegistry &stats)
+    : hierarchy(hierarchy)
+{
+    stats.add("coh.actions", &stat_actions);
+    stats.add("coh.offchip_flits", &stat_offchip_flits);
+}
+
+std::uint32_t
+EagerCoherence::beforeOffload(const PimPacket &pkt, Callback ready)
+{
+    // Off-chip cost of one eager action: a command flit out and an
+    // ack flit back, plus a block of writeback data whenever the
+    // action flushes a dirty copy.  dirtyIn is a pure query, so the
+    // timing path below stays bit-identical to the pre-seam PMU.
+    ++stat_actions;
+    stat_offchip_flits += 2;
+    if (hierarchy.dirtyIn(pkt.paddr))
+        stat_offchip_flits += data_flits;
+
+    if (pkt.is_writer)
+        hierarchy.backInvalidate(pkt.paddr, std::move(ready));
+    else
+        hierarchy.backWriteback(pkt.paddr, std::move(ready));
+    return 0;
+}
+
+} // namespace pei

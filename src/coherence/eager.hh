@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Eager coherence: the paper's per-operation baseline.  Every
+ * memory-side writer PEI back-invalidates its target block and every
+ * reader back-writebacks it before the offload proceeds — an exact
+ * passthrough to CacheHierarchy, so the default policy stays
+ * bit-identical to the pre-seam simulator.
+ */
+
+#ifndef PEISIM_COHERENCE_EAGER_HH
+#define PEISIM_COHERENCE_EAGER_HH
+
+#include "coherence/policy.hh"
+
+namespace pei
+{
+
+class EagerCoherence final : public CoherencePolicy
+{
+  public:
+    EagerCoherence(CacheHierarchy &hierarchy, StatRegistry &stats);
+
+    const char *name() const override { return "eager"; }
+    std::uint32_t beforeOffload(const PimPacket &pkt,
+                                Callback ready) override;
+    void onRetire(std::uint32_t token) override { (void)token; }
+
+  private:
+    CacheHierarchy &hierarchy;
+
+    Counter stat_actions;       ///< back-invals + back-writebacks
+    Counter stat_offchip_flits; ///< coherence-attributable link flits
+};
+
+} // namespace pei
+
+#endif // PEISIM_COHERENCE_EAGER_HH

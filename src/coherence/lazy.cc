@@ -1,0 +1,292 @@
+#include "lazy.hh"
+
+#include "cache/hierarchy.hh"
+#include "common/logging.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+/** 16-byte link flits needed to carry @p bytes. */
+constexpr std::uint64_t
+flits(unsigned bytes)
+{
+    return (bytes + 15u) / 16u;
+}
+
+/** One block of writeback data plus its 16-byte packet header. */
+constexpr std::uint64_t data_flits = flits(16 + block_size);
+
+} // namespace
+
+LazyCoherence::LazyCoherence(EventQueue &eq, CacheHierarchy &hierarchy,
+                             const CoherenceConfig &cfg,
+                             StatRegistry &stats)
+    : eq(eq), hierarchy(hierarchy), cfg(cfg)
+{
+    fatal_if(this->cfg.batch_peis == 0,
+             "lazy coherence needs batch_peis >= 1");
+
+    stats.add("coh.actions", &stat_actions);
+    stats.add("coh.offchip_flits", &stat_offchip_flits);
+    stats.add("coh.batches", &stat_batches);
+    stats.add("coh.commits", &stat_commits);
+    stats.add("coh.signature_checks", &stat_signature_checks);
+    stats.add("coh.conflicts", &stat_conflicts);
+    stats.add("coh.exact_conflicts", &stat_exact_conflicts);
+    stats.add("coh.sig_false_positives", &stat_false_positives);
+    stats.add("coh.rollbacks", &stat_rollbacks);
+    stats.add("coh.reexec_peis", &stat_reexec_peis);
+    stats.add("coh.batch_peis", &hist_batch_peis);
+    stats.add("coh.sig_occupancy_bits", &hist_sig_occupancy);
+
+    // Speculative-commit conservation: every closed batch commits by
+    // quiesce time (commit events settle before the audit runs).
+    stats.addInvariant(
+        "coh.commits == coh.batches",
+        [this] {
+            if (stat_commits.value() == stat_batches.value())
+                return std::string();
+            return "commits=" + std::to_string(stat_commits.value()) +
+                   " != batches=" + std::to_string(stat_batches.value()) +
+                   " (batch closed but never committed?)";
+        });
+    stats.addInvariant(
+        "coh.rollbacks <= coh.conflicts",
+        [this] {
+            if (stat_rollbacks.value() <= stat_conflicts.value())
+                return std::string();
+            return "rollbacks=" + std::to_string(stat_rollbacks.value()) +
+                   " > conflicts=" + std::to_string(stat_conflicts.value());
+        });
+    stats.addInvariant(
+        "coh.conflicts <= coh.signature_checks",
+        [this] {
+            if (stat_conflicts.value() <= stat_signature_checks.value())
+                return std::string();
+            return "conflicts=" + std::to_string(stat_conflicts.value()) +
+                   " > signature_checks=" +
+                   std::to_string(stat_signature_checks.value());
+        });
+    // Bloom filters admit false positives but never false negatives:
+    // every true conflict (a dirty host line the kernel really
+    // touched, per the exact shadow sets) must have been detected.
+    // This is the audit that catches --inject-bug skip-conflict-check.
+    stats.addInvariant(
+        "coh.conflicts >= coh.exact_conflicts",
+        [this] {
+            if (stat_conflicts.value() >= stat_exact_conflicts.value())
+                return std::string();
+            return "conflicts=" + std::to_string(stat_conflicts.value()) +
+                   " < exact_conflicts=" +
+                   std::to_string(stat_exact_conflicts.value()) +
+                   " (conflict check skipped?)";
+        });
+}
+
+LazyCoherence::Batch &
+LazyCoherence::openBatch()
+{
+    if (open_id == 0) {
+        open_id = next_id++;
+        batches.emplace(open_id, Batch(cfg.signature_bits));
+    }
+    return batches.at(open_id);
+}
+
+void
+LazyCoherence::closeOpenBatch()
+{
+    Batch &b = batches.at(open_id);
+    b.closed = true;
+    ++stat_batches;
+    hist_batch_peis.record(b.members.size());
+    hist_sig_occupancy.record(b.read_sig.popcount() +
+                              b.write_sig.popcount());
+    open_id = 0;
+}
+
+std::uint32_t
+LazyCoherence::beforeOffload(const PimPacket &pkt, Callback ready)
+{
+    Batch &b = openBatch();
+    const std::uint32_t id = open_id;
+    const Addr block = pkt.paddr >> block_shift;
+
+    // Writer PEIs are read-modify-write on their target block, so a
+    // written block enters both signatures (and both shadow sets).
+    b.read_sig.add(block);
+    b.exact_reads.insert(block);
+    if (pkt.is_writer) {
+        b.write_sig.add(block);
+        b.exact_writes.insert(block);
+    }
+    b.members.push_back(
+        {block, static_cast<unsigned>(flits(pkt.requestBytes())),
+         static_cast<unsigned>(flits(pkt.responseBytes()))});
+    ++b.outstanding;
+    if (b.members.size() >= cfg.batch_peis)
+        closeOpenBatch();
+
+    // The signature insert is PMU-local (no cache walk, no off-chip
+    // handshake) — that is the whole point of deferring.  Offloads
+    // issued during a rollback's re-execution window stall until it
+    // ends.
+    const Tick now = eq.now();
+    const Tick at = std::max(now + cfg.insert_latency, stall_until);
+    eq.schedule(at - now, std::move(ready));
+    return id;
+}
+
+void
+LazyCoherence::onRetire(std::uint32_t token)
+{
+    const auto it = batches.find(token);
+    panic_if(it == batches.end(),
+             "lazy coherence: retirement for unknown batch %u", token);
+    Batch &b = it->second;
+    panic_if(b.outstanding == 0,
+             "lazy coherence: batch %u retired more PEIs than it "
+             "offloaded", token);
+    if (--b.outstanding > 0)
+        return;
+
+    // Quiesce auto-close: the open batch's last in-flight PEI
+    // retired, so the PMU commits rather than holding speculative
+    // state open across an idle kernel.
+    if (!b.closed) {
+        panic_if(token != open_id,
+                 "lazy coherence: unclosed batch %u is not the open "
+                 "batch", token);
+        closeOpenBatch();
+    }
+    eq.schedule(cfg.commit_latency, [this, token] { commit(token); });
+}
+
+void
+LazyCoherence::onFence()
+{
+    // A pfence is a batch boundary: close the open batch so its
+    // commit fires at the last retirement instead of riding along
+    // with post-fence PEIs.  (The fence itself still waits only on
+    // writer retirement — speculative completions are
+    // architecturally final in this model, see DESIGN.md.)
+    if (open_id != 0)
+        closeOpenBatch();
+}
+
+void
+LazyCoherence::commit(std::uint32_t token)
+{
+    const auto it = batches.find(token);
+    panic_if(it == batches.end(),
+             "lazy coherence: commit of unknown batch %u", token);
+    const Batch b = std::move(it->second);
+    batches.erase(it);
+    ++stat_commits;
+    ++commit_no;
+    const bool skip_check =
+        inject_skip_conflict != 0 && commit_no >= inject_skip_conflict;
+
+    // Both signatures cross the off-chip link, one ack returns.
+    stat_offchip_flits +=
+        flits(2 * ((cfg.signature_bits + 7) / 8)) + 1;
+
+    // Commit scan: intersect the signatures with the host's cached
+    // blocks.  Any cached copy of a (possibly falsely) written block
+    // is stale and must be invalidated; a *dirty* host line the
+    // kernel touched is a conflict — the host wrote data the kernel
+    // speculatively consumed or overwrote.
+    std::vector<Addr> to_invalidate;
+    std::vector<Addr> dirty_read_conflicts;
+    std::uint64_t conflicts = 0;
+    hierarchy.forEachCachedBlock([&](Addr block, bool dirty) {
+        ++stat_signature_checks;
+        const bool in_write = b.write_sig.mayContain(block);
+        if (in_write)
+            to_invalidate.push_back(block);
+        if (!dirty)
+            return;
+        // The exact shadow sets count true conflicts unconditionally
+        // (checker oracle; exact_reads ⊇ exact_writes).
+        const bool exact = b.exact_reads.count(block) != 0;
+        if (exact)
+            ++stat_exact_conflicts;
+        if (skip_check)
+            return;
+        ++stat_signature_checks;
+        if (in_write || b.read_sig.mayContain(block)) {
+            ++conflicts;
+            ++stat_conflicts;
+            if (!exact)
+                ++stat_false_positives;
+            if (dirty && in_write)
+                stat_offchip_flits += data_flits;
+            if (!in_write)
+                dirty_read_conflicts.push_back(block);
+        }
+    });
+
+    // Deferred coherence actions.  The empty completion continuation
+    // is fine: nothing downstream waits on a commit-time cleanup.
+    for (const Addr block : to_invalidate) {
+        ++stat_actions;
+        hierarchy.backInvalidate(block << block_shift, Callback([] {}));
+    }
+
+    if (conflicts == 0)
+        return;
+
+    // Rollback: flush the conflicting host lines the kernel only
+    // read (written ones were invalidated above), then re-execute
+    // the whole batch.  Functional execution already happened
+    // exactly once, so re-execution is a timing/traffic event: the
+    // batch's packets cross the link again and subsequent offloads
+    // stall for the re-execution window.
+    ++stat_rollbacks;
+    stat_reexec_peis += b.members.size();
+    std::uint64_t redo_flits = 0;
+    for (const Member &m : b.members)
+        redo_flits += m.req_flits + m.res_flits;
+    stat_offchip_flits += redo_flits;
+    for (const Addr block : dirty_read_conflicts) {
+        ++stat_actions;
+        stat_offchip_flits += data_flits;
+        hierarchy.backWriteback(block << block_shift, Callback([] {}));
+    }
+    const Tick window =
+        cfg.rollback_penalty * static_cast<Tick>(b.members.size());
+    stall_until = std::max(stall_until, eq.now() + window);
+}
+
+std::string
+LazyCoherence::probeViolation() const
+{
+    if (open_id != 0 && batches.find(open_id) == batches.end())
+        return "open batch " + std::to_string(open_id) +
+               " missing from the batch table";
+    for (const auto &[id, b] : batches) {
+        if (b.outstanding > b.members.size()) {
+            return "batch " + std::to_string(id) + " has " +
+                   std::to_string(b.outstanding) +
+                   " outstanding PEIs but only " +
+                   std::to_string(b.members.size()) + " members";
+        }
+        if (!b.closed && id != open_id) {
+            return "batch " + std::to_string(id) +
+                   " is neither closed nor open";
+        }
+        const unsigned occupancy =
+            b.read_sig.popcount() + b.write_sig.popcount();
+        if (occupancy > 2 * cfg.signature_bits) {
+            return "batch " + std::to_string(id) +
+                   " signature occupancy " + std::to_string(occupancy) +
+                   " exceeds capacity";
+        }
+    }
+    return "";
+}
+
+} // namespace pei

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * LazyPIM-style speculative coherence (PAPERS.md: "LazyPIM: An
+ * Efficient Cache Coherence Mechanism for Processing-in-Memory").
+ *
+ * Instead of cleaning the host caches before every offload, the PMU
+ * batches offloaded PEIs speculatively: each batch accumulates
+ * compressed read/write signatures (Bloom-style, coherence/
+ * signature.hh) plus exact shadow sets used only as the checker's
+ * oracle.  A batch closes when full or at a pfence, and commits once
+ * its last PEI retires: the signatures cross the off-chip link, the
+ * host scans its cached blocks, invalidates every (possibly falsely)
+ * written block, and declares a conflict for every *dirty* host line
+ * the kernel touched — the host wrote data the kernel speculatively
+ * consumed or overwrote.  A conflict rolls the batch back:
+ * re-execution is modeled as a stall window on subsequent offloads
+ * plus the batch's packets crossing the link again.
+ *
+ * Strictly a timing/traffic model: functional PEI execution happened
+ * exactly once when the packet reached its vault, and the generator/
+ * workload programs are interleaving-independent, so architectural
+ * results equal the eager baseline's (the golden model remains the
+ * oracle).  The exact shadow sets exist so the audit can prove the
+ * Bloom check never misses a true conflict
+ * (`coh.conflicts >= coh.exact_conflicts`).
+ */
+
+#ifndef PEISIM_COHERENCE_LAZY_HH
+#define PEISIM_COHERENCE_LAZY_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "coherence/policy.hh"
+#include "coherence/signature.hh"
+
+namespace pei
+{
+
+class LazyCoherence final : public CoherencePolicy
+{
+  public:
+    LazyCoherence(EventQueue &eq, CacheHierarchy &hierarchy,
+                  const CoherenceConfig &cfg, StatRegistry &stats);
+
+    const char *name() const override { return "lazy"; }
+    bool deferred() const override { return true; }
+    std::uint32_t beforeOffload(const PimPacket &pkt,
+                                Callback ready) override;
+    void onRetire(std::uint32_t token) override;
+    void onFence() override;
+    std::string probeViolation() const override;
+
+    /** From the @p nth commit (1-based) onward, skip the conflict
+     *  check — the exact shadow sets keep counting, so any true
+     *  conflict breaks `coh.conflicts >= coh.exact_conflicts`. */
+    void
+    injectSkipConflictCheck(std::uint64_t nth) override
+    {
+        inject_skip_conflict = nth;
+    }
+
+  private:
+    /** One offloaded PEI's share of a batch (rollback accounting). */
+    struct Member
+    {
+        Addr block;
+        unsigned req_flits;
+        unsigned res_flits;
+    };
+
+    /** One speculative kernel batch from first offload to commit. */
+    struct Batch
+    {
+        BlockSignature read_sig;
+        BlockSignature write_sig;
+        /** Exact shadow sets: checker oracle, not modeled hardware. */
+        std::set<Addr> exact_reads;
+        std::set<Addr> exact_writes;
+        std::vector<Member> members;
+        unsigned outstanding = 0; ///< offloaded, not yet retired
+        bool closed = false;
+
+        explicit Batch(unsigned sig_bits)
+            : read_sig(sig_bits), write_sig(sig_bits)
+        {}
+    };
+
+    /** The open batch, creating one if none is accumulating. */
+    Batch &openBatch();
+
+    /** Close the open batch (full, fence, or quiesce). */
+    void closeOpenBatch();
+
+    /** Commit @p token: signature intersection against dirty lines,
+     *  deferred invalidations, conflict detection, rollback. */
+    void commit(std::uint32_t token);
+
+    EventQueue &eq;
+    CacheHierarchy &hierarchy;
+    CoherenceConfig cfg;
+
+    std::map<std::uint32_t, Batch> batches; ///< open + closed-uncommitted
+    std::uint32_t open_id = 0;              ///< 0 = no open batch
+    std::uint32_t next_id = 1;
+    Tick stall_until = 0;  ///< rollback re-execution window
+    std::uint64_t commit_no = 0;
+    std::uint64_t inject_skip_conflict = 0; ///< 0 = no injection
+
+    Counter stat_actions;        ///< deferred back-invals/-writebacks
+    Counter stat_offchip_flits;  ///< coherence-attributable link flits
+    Counter stat_batches;        ///< batches closed
+    Counter stat_commits;        ///< batches committed
+    Counter stat_signature_checks;
+    Counter stat_conflicts;      ///< dirty host lines hit by a signature
+    Counter stat_exact_conflicts;///< ...of which the exact sets confirm
+    Counter stat_false_positives;///< ...signature-only (aliasing) hits
+    Counter stat_rollbacks;      ///< batches rolled back (<= 1/commit)
+    Counter stat_reexec_peis;    ///< PEIs re-executed by rollbacks
+    Histogram hist_batch_peis;   ///< batch size at close
+    Histogram hist_sig_occupancy;///< read+write bits set at close
+};
+
+} // namespace pei
+
+#endif // PEISIM_COHERENCE_LAZY_HH

@@ -1,0 +1,113 @@
+#include "policy.hh"
+
+#include <map>
+#include <mutex>
+
+#include "coherence/eager.hh"
+#include "coherence/lazy.hh"
+#include "common/logging.hh"
+
+namespace pei
+{
+
+namespace
+{
+
+/**
+ * Guarded registry: Systems are constructed concurrently from the
+ * driver's worker threads, so lookups and (rare) registrations
+ * synchronize on one mutex (same scheme as the memory-backend
+ * registry, mem/backend.cc).
+ */
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, CoherenceFactory> &
+registry()
+{
+    static std::map<std::string, CoherenceFactory> r;
+    return r;
+}
+
+std::unique_ptr<CoherencePolicy>
+makeEager(EventQueue &eq, CacheHierarchy &hierarchy,
+          const CoherenceConfig &cfg, StatRegistry &stats)
+{
+    (void)eq;
+    (void)cfg;
+    return std::make_unique<EagerCoherence>(hierarchy, stats);
+}
+
+std::unique_ptr<CoherencePolicy>
+makeLazy(EventQueue &eq, CacheHierarchy &hierarchy,
+         const CoherenceConfig &cfg, StatRegistry &stats)
+{
+    return std::make_unique<LazyCoherence>(eq, hierarchy, cfg, stats);
+}
+
+/**
+ * The built-ins register lazily on first registry use (not via
+ * static initializers, which a static library may dead-strip).
+ * Callers must hold registryMutex().
+ */
+void
+ensureBuiltinsLocked()
+{
+    auto &r = registry();
+    if (r.count("eager"))
+        return;
+    r.emplace("eager", &makeEager);
+    r.emplace("lazy", &makeLazy);
+}
+
+} // namespace
+
+void
+registerCoherencePolicy(const std::string &name, CoherenceFactory factory)
+{
+    fatal_if(name.empty() || factory == nullptr,
+             "coherence-policy registration needs a name and a factory");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureBuiltinsLocked();
+    registry()[name] = factory;
+}
+
+std::vector<std::string>
+coherencePolicyNames()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    ensureBuiltinsLocked();
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : registry())
+        names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<CoherencePolicy>
+createCoherencePolicy(const std::string &name, EventQueue &eq,
+                      CacheHierarchy &hierarchy,
+                      const CoherenceConfig &cfg, StatRegistry &stats)
+{
+    CoherenceFactory factory = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        ensureBuiltinsLocked();
+        const auto it = registry().find(name);
+        if (it != registry().end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::string known;
+        for (const auto &n : coherencePolicyNames())
+            known += (known.empty() ? "" : ", ") + n;
+        fatal("unknown coherence policy '%s' (registered: %s)",
+              name.c_str(), known.c_str());
+    }
+    return factory(eq, hierarchy, cfg, stats);
+}
+
+} // namespace pei

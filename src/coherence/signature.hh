@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Compressed block-address signatures for speculative (LazyPIM-style)
+ * coherence: a small Bloom filter over cache-block numbers.
+ *
+ * A kernel batch inserts every block it reads/writes; at commit time
+ * the host intersects its dirty lines against the signatures.  Bloom
+ * semantics give the safety property deferred coherence rests on:
+ * mayContain() never returns false for an inserted block (no false
+ * negatives — a missed conflict would corrupt memory), while false
+ * positives only cost a spurious rollback.
+ */
+
+#ifndef PEISIM_COHERENCE_SIGNATURE_HH
+#define PEISIM_COHERENCE_SIGNATURE_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace pei
+{
+
+/** A Bloom-style set of cache-block numbers with k = 2 hash probes. */
+class BlockSignature
+{
+  public:
+    /** @p nbits must be a power of two in [8, 1 << 20]. */
+    explicit BlockSignature(unsigned nbits) : nbits_(nbits)
+    {
+        fatal_if(!isPowerOf2(nbits) || nbits < 8 || nbits > (1u << 20),
+                 "signature bits must be a power of two in [8, 2^20], "
+                 "got %u", nbits);
+        words_.resize(nbits / 64 + (nbits % 64 != 0));
+    }
+
+    /**
+     * The two probe positions for @p block in an @p nbits-wide
+     * signature.  Exposed so tests can construct aliasing block
+     * pairs (deliberate false positives) deterministically.
+     */
+    static std::pair<unsigned, unsigned>
+    probes(Addr block, unsigned nbits)
+    {
+        const unsigned width = floorLog2(nbits);
+        const unsigned h1 =
+            static_cast<unsigned>(foldedXor(block, width));
+        const unsigned h2 = static_cast<unsigned>(
+            foldedXor(mix(block ^ 0x9E3779B97F4A7C15ULL), width));
+        return {h1, h2};
+    }
+
+    void
+    add(Addr block)
+    {
+        const auto [h1, h2] = probes(block, nbits_);
+        words_[h1 / 64] |= 1ULL << (h1 % 64);
+        words_[h2 / 64] |= 1ULL << (h2 % 64);
+    }
+
+    bool
+    mayContain(Addr block) const
+    {
+        const auto [h1, h2] = probes(block, nbits_);
+        return (words_[h1 / 64] >> (h1 % 64) & 1) &&
+               (words_[h2 / 64] >> (h2 % 64) & 1);
+    }
+
+    /** Bits set (occupancy; saturation drives the false-positive rate). */
+    unsigned
+    popcount() const
+    {
+        unsigned n = 0;
+        for (const std::uint64_t w : words_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
+
+    void
+    clear()
+    {
+        for (std::uint64_t &w : words_)
+            w = 0;
+    }
+
+    unsigned bits() const { return nbits_; }
+
+  private:
+    /** SplitMix64 finalizer: decorrelates the second probe from the
+     *  first so aliasing needs both positions to collide. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+        return x ^ (x >> 31);
+    }
+
+    unsigned nbits_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace pei
+
+#endif // PEISIM_COHERENCE_SIGNATURE_HH

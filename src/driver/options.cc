@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "coherence/policy.hh"
 #include "common/logging.hh"
 #include "mem/backend.hh"
 
@@ -71,6 +72,17 @@ sweepOptionsFromArgs(int argc, char **argv)
                       value.c_str(), known.c_str());
             }
             opts.mem_backend = value;
+        } else if (flagValue(argc, argv, i, "--coherence", value)) {
+            const auto names = coherencePolicyNames();
+            if (std::find(names.begin(), names.end(), value) ==
+                names.end()) {
+                std::string known;
+                for (const auto &n : names)
+                    known += (known.empty() ? "" : ", ") + n;
+                fatal("--coherence '%s' is not registered (known: %s)",
+                      value.c_str(), known.c_str());
+            }
+            opts.coherence = value;
         } else if (flagValue(argc, argv, i, "--shards", value)) {
             char *end = nullptr;
             const long n = std::strtol(value.c_str(), &end, 10);

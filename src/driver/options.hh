@@ -8,6 +8,7 @@
  *   --list          print job labels and exit without running
  *   --no-progress   suppress the live progress line on stderr
  *   --mem-backend K main-memory backend (hmc | ddr | ideal)
+ *   --coherence P   offload coherence policy (eager | lazy)
  *   --shards N      event-queue shards per simulated System
  *                   (1 = the sequential engine; sim/sharded_queue.hh)
  *
@@ -30,6 +31,8 @@ struct SweepOptions
     std::string filter;     ///< empty = run everything
     /** Memory backend registry key; empty = each job's default. */
     std::string mem_backend;
+    /** Coherence-policy registry key; empty = each job's default. */
+    std::string coherence;
     /** Event-queue shards per System; 0 = each job's default (1). */
     unsigned shards = 0;
     bool list = false;

@@ -56,6 +56,8 @@ runSimJob(const SimJob &job, JobCtx &ctx)
     SystemConfig cfg = SystemConfig::scaled(job.mode);
     if (!job.mem_backend.empty())
         cfg.mem_backend = job.mem_backend;
+    if (!job.coherence.empty())
+        cfg.pim.coherence.policy = job.coherence;
     if (job.shards)
         cfg.shards = job.shards;
     if (job.tweak)

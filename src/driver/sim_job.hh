@@ -91,6 +91,9 @@ struct SimJob
     /** Memory backend registry key; empty = the config's default.
      *  Applied before @ref tweak so a tweak can still override. */
     std::string mem_backend;
+    /** Coherence-policy registry key; empty = the config's default
+     *  (eager).  Applied before @ref tweak, like mem_backend. */
+    std::string coherence;
     /** Event-queue shards; 0 = the config's default (sequential).
      *  Applied before @ref tweak so a tweak can still override. */
     unsigned shards = 0;

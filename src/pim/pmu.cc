@@ -40,6 +40,9 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
                                             cfg.monitor_ignore_flag);
     mon->setAccessLatency(cfg.monitor_latency);
 
+    coh = createCoherencePolicy(cfg.coherence.policy, eq, hierarchy,
+                                cfg.coherence, stats);
+
     // The monitor mirrors every last-level cache access (§4.3), but
     // only when locality-aware execution is enabled; Host-Only and
     // PIM-Only "disable the locality monitor" (§7).
@@ -96,32 +99,38 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
                    " != host+mem=" + std::to_string(retired) +
                    " (PEI lost in the pipeline?)";
         });
-    // Offload/coherence conservation: every memory-side writer PEI
-    // performs exactly one back-invalidation and every memory-side
-    // reader PEI exactly one back-writeback (Fig. 5 step ③).  The
-    // cache counters count performed operations once, so a skipped
-    // cleaning step (e.g. simfuzz's --inject-bug skip-back-inval)
-    // breaks the balance.
-    stats.addInvariant(
-        "pmu.peis_mem_writers == cache.back_invalidations",
-        [this, &stats] {
-            const std::uint64_t w = stat_peis_mem_writers.value();
-            const std::uint64_t bi = stats.get("cache.back_invalidations");
-            if (w == bi)
-                return std::string();
-            return "mem-side writer PEIs=" + std::to_string(w) +
-                   " != back-invalidations=" + std::to_string(bi);
-        });
-    stats.addInvariant(
-        "pmu.peis_mem_readers == cache.back_writebacks",
-        [this, &stats] {
-            const std::uint64_t r = stat_peis_mem_readers.value();
-            const std::uint64_t bw = stats.get("cache.back_writebacks");
-            if (r == bw)
-                return std::string();
-            return "mem-side reader PEIs=" + std::to_string(r) +
-                   " != back-writebacks=" + std::to_string(bw);
-        });
+    // Offload/coherence conservation: under the eager policy every
+    // memory-side writer PEI performs exactly one back-invalidation
+    // and every memory-side reader PEI exactly one back-writeback
+    // (Fig. 5 step ③).  The cache counters count performed operations
+    // once, so a skipped cleaning step (e.g. simfuzz's --inject-bug
+    // skip-back-inval) breaks the balance.  Deferred policies batch
+    // and elide these actions by design, so the balance is
+    // eager-only; lazy registers its own invariants
+    // (coherence/lazy.cc).
+    if (cfg.coherence.policy == "eager") {
+        stats.addInvariant(
+            "pmu.peis_mem_writers == cache.back_invalidations",
+            [this, &stats] {
+                const std::uint64_t w = stat_peis_mem_writers.value();
+                const std::uint64_t bi =
+                    stats.get("cache.back_invalidations");
+                if (w == bi)
+                    return std::string();
+                return "mem-side writer PEIs=" + std::to_string(w) +
+                       " != back-invalidations=" + std::to_string(bi);
+            });
+        stats.addInvariant(
+            "pmu.peis_mem_readers == cache.back_writebacks",
+            [this, &stats] {
+                const std::uint64_t r = stat_peis_mem_readers.value();
+                const std::uint64_t bw = stats.get("cache.back_writebacks");
+                if (r == bw)
+                    return std::string();
+                return "mem-side reader PEIs=" + std::to_string(r) +
+                       " != back-writebacks=" + std::to_string(bw);
+            });
+    }
 }
 
 void
@@ -360,13 +369,13 @@ Pmu::memExecute(std::uint32_t txn)
     else
         ++stat_peis_mem_readers;
 
-    // Fig. 5 step ③: clean the on-chip copies of the target block
+    // Fig. 5 step ③: make the on-chip copies of the target block
+    // coherent with the offload.  Eager cleans them now
     // (back-invalidation for writers, back-writeback for readers);
-    // input operands move to the PMU concurrently.
-    if (t.pkt.is_writer)
-        hierarchy.backInvalidate(t.pkt.paddr, [this, txn] { offload(txn); });
-    else
-        hierarchy.backWriteback(t.pkt.paddr, [this, txn] { offload(txn); });
+    // lazy records the access in its batch signatures and defers the
+    // reconciliation to commit time.
+    t.coh_token =
+        coh->beforeOffload(t.pkt, Callback([this, txn] { offload(txn); }));
 }
 
 void
@@ -409,6 +418,7 @@ Pmu::finish(std::uint32_t txn, bool executed_at_host)
         panic_if(it == inflight.end(),
                  "mem-side PEI retired without an in-flight record");
         inflight.erase(it);
+        coh->onRetire(t.coh_token);
     }
 
     // Releasing the directory entry also retires the writer that
@@ -436,7 +446,10 @@ Pmu::pfence(Callback done)
     // retired (§3.2).  The directory tracks writers from issue
     // (registerWriter in executePei) to retire (release in finish),
     // which covers the whole PEI pipeline and subsumes the "all
-    // entries readable" condition.
+    // entries readable" condition.  A deferred coherence policy also
+    // closes its open speculation batch so the fence's ordering
+    // guarantee extends to its commit.
+    coh->onFence();
     dir->pfence(std::move(done));
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "coherence/policy.hh"
 #include "common/stats.hh"
 #include "mem/backend.hh"
 #include "mem/vmem.hh"
@@ -80,6 +81,15 @@ struct PimConfig
 
     Ticks pmu_xbar_latency = 8;     ///< core→PMU crossbar hop
 
+    /**
+     * Coherence policy for memory-side offloads (Fig. 5 step ③):
+     * "eager" = the paper's per-operation back-inval/back-writeback
+     * (bit-identical default); "lazy" = LazyPIM-style batched
+     * speculation (coherence/lazy.hh).  `--coherence` on every bench
+     * and simfuzz.
+     */
+    CoherenceConfig coherence;
+
     PcuConfig pcu;
 };
 
@@ -116,6 +126,7 @@ class Pmu
 
     PimDirectory &directory() { return *dir; }
     LocalityMonitor &monitor() { return *mon; }
+    CoherencePolicy &coherence() { return *coh; }
     Pcu &hostPcu(unsigned core) { return *host_pcus[core]; }
 
     /** Memory-side PCU buffer of PIM unit @p unit (probe hook). */
@@ -173,6 +184,7 @@ class Pmu
         unsigned core;
         Tick asked = 0;      ///< directory-wait start
         Tick load_start = 0; ///< host cache-load start
+        std::uint32_t coh_token = 0; ///< coherence-policy batch token
     };
 
     // Pipeline stages, one per latency edge of the PEI's lifetime.
@@ -203,6 +215,7 @@ class Pmu
 
     std::unique_ptr<PimDirectory> dir;
     std::unique_ptr<LocalityMonitor> mon;
+    std::unique_ptr<CoherencePolicy> coh;
     std::vector<std::unique_ptr<Pcu>> host_pcus;
     std::vector<std::unique_ptr<MemSidePcu>> mem_pcus;
 

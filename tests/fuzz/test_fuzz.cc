@@ -139,6 +139,8 @@ TEST(FuzzReplay, FileRoundTrips)
     id.config = 2;
     id.prefix = 7;
     id.thread_mask = 0x15;
+    id.backend = "ddr";
+    id.coherence = "lazy";
     FuzzOptions opt;
     opt.master_seed = 999;
     opt.num_configs = 5;
@@ -152,6 +154,8 @@ TEST(FuzzReplay, FileRoundTrips)
     EXPECT_EQ(id2.config, id.config);
     EXPECT_EQ(id2.prefix, id.prefix);
     EXPECT_EQ(id2.thread_mask, id.thread_mask);
+    EXPECT_EQ(id2.backend, id.backend);
+    EXPECT_EQ(id2.coherence, id.coherence);
     EXPECT_EQ(opt2.master_seed, opt.master_seed);
     EXPECT_EQ(opt2.num_configs, opt.num_configs);
     EXPECT_EQ(opt2.probe_every, opt.probe_every);
@@ -211,6 +215,33 @@ TEST(FuzzSelfTest, CatchesSkippedDirectoryUnlock)
 TEST(FuzzSelfTest, CatchesSkippedBackInvalidation)
 {
     expectInjectionCaughtAndShrunk(InjectBug::SkipBackInval);
+}
+
+// The conflict-check injection forces the lazy policy on (the bug
+// lives in its commit path) and elides every signature intersection
+// from the first commit onward; the exact shadow sets keep counting
+// true conflicts, so any case whose kernel batch races a host store
+// breaks `coh.conflicts >= coh.exact_conflicts` at audit time and
+// shrinks to a minimal conflicting program.
+TEST(FuzzSelfTest, CatchesSkippedConflictCheck)
+{
+    expectInjectionCaughtAndShrunk(InjectBug::SkipConflictCheck);
+}
+
+// The smoke above fuzzes the policy per config; this leg pins every
+// case to lazy so the deferred machinery sees the full op set even
+// if the config draws would have favored eager.
+TEST(FuzzSmoke, FortyCasesAllLazyAreClean)
+{
+    FuzzOptions opt;
+    opt.coherence = "lazy";
+    for (std::uint64_t i = 0; i < 40; ++i) {
+        FuzzCaseId id;
+        id.seed = caseSeed(opt.master_seed, i);
+        id.config = static_cast<unsigned>(i % opt.num_configs);
+        const FuzzCaseResult r = runFuzzCase(id, opt, nullptr);
+        EXPECT_TRUE(r.ok()) << r.summary();
+    }
 }
 
 } // namespace

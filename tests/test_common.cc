@@ -338,6 +338,21 @@ TEST(Stats, PercentileEdgeCases)
     EXPECT_DOUBLE_EQ(one.percentile(2.0), 42.0);
 }
 
+TEST(Stats, PercentileAllSamplesInOneBucket)
+{
+    // Identical samples all land in one log2 bucket ([64,128) here).
+    // The uniform in-bucket spread would report values anywhere in
+    // that range; the observed-min/max clamp must collapse every
+    // percentile to the one recorded value.
+    Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.record(100);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
 TEST(Stats, HistogramJsonCarriesPercentiles)
 {
     StatRegistry reg;
