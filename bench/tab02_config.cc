@@ -6,13 +6,37 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.hh"
+#include "common/logging.hh"
+#include "net/topology.hh"
 
 using namespace pei;
 
 namespace
 {
+
+/** Table descriptor of the off-chip interconnect ("daisy-chained"
+ *  for chain, byte-identical to the pre-topology table). */
+std::string
+linkArrangement(const HmcConfig &hmc)
+{
+    switch (hmc.topology) {
+      case Topology::Chain:
+        return "daisy-chained";
+      case Topology::Ring:
+        return "bidirectional ring";
+      case Topology::Mesh: {
+        const unsigned cols = meshCols(hmc.num_cubes);
+        const unsigned rows =
+            hmc.num_cubes ? (hmc.num_cubes + cols - 1) / cols : 1;
+        return std::to_string(cols) + "x" + std::to_string(rows) +
+               " mesh";
+      }
+    }
+    return "daisy-chained";
+}
 
 void
 show(const char *title, const SystemConfig &cfg)
@@ -40,9 +64,9 @@ show(const char *title, const SystemConfig &cfg)
     std::printf("Vertical links   : %.0f GB/s per vault (64 TSVs x "
                 "2 Gb/s)\n",
                 cfg.hmc.dram.tsv_gbps);
-    std::printf("Off-chip links   : %.1f GB/s per direction, "
-                "daisy-chained\n",
-                cfg.hmc.link.gbps);
+    std::printf("Off-chip links   : %.1f GB/s per direction, %s\n",
+                cfg.hmc.link.gbps,
+                linkArrangement(cfg.hmc).c_str());
     std::printf("Host PCUs        : %u (one per core), %u-entry operand "
                 "buffer, width %u, 4 GHz\n",
                 cfg.cores, cfg.pim.pcu.operand_buffer_entries,
@@ -53,6 +77,12 @@ show(const char *title, const SystemConfig &cfg)
     std::printf("PIM directory    : %u entries, %llu-cycle access\n",
                 cfg.pim.directory_entries,
                 (unsigned long long)cfg.pim.directory_latency);
+    // Off-default only: the unsharded table stays byte-identical.
+    if (cfg.pim.pmu_shards > 1) {
+        std::printf("PMU banks        : %u address-interleaved "
+                    "directory+monitor bank pairs\n",
+                    cfg.pim.pmu_shards);
+    }
     std::printf("Locality monitor : mirrors L3 tag array (%llu sets x "
                 "%u ways), %u-bit partial tags, %llu-cycle access\n\n",
                 (unsigned long long)(cfg.cache.l3_bytes / 64 /
@@ -70,10 +100,25 @@ main(int argc, char **argv)
     peibench::printHeader("Table 2", "Baseline Simulation Configuration",
                           "16 OoO cores, 32 KB/256 KB/16 MB caches, "
                           "8 HMCs (32 GB), 80 GB/s full-duplex chain");
+    // --topology / --cubes / --pmu-shards preview the table of a
+    // swept configuration (the plain table is byte-identical).
+    const SweepOptions &sopt = peibench::sweepOptions();
+    const auto apply = [&sopt](SystemConfig cfg) {
+        if (!sopt.topology.empty()) {
+            const bool ok = parseTopology(sopt.topology, cfg.hmc.topology);
+            fatal_if(!ok, "tab02: unknown topology '%s'",
+                     sopt.topology.c_str());
+        }
+        if (sopt.cubes)
+            cfg.hmc.num_cubes = sopt.cubes;
+        if (sopt.pmu_shards)
+            cfg.pim.pmu_shards = sopt.pmu_shards;
+        return cfg;
+    };
     show("paperBaseline() — Table 2 as published",
-         SystemConfig::paperBaseline());
+         apply(SystemConfig::paperBaseline()));
     show("scaled() — bench configuration (1/16 caches, 1 cube, "
          "bandwidth ratio preserved)",
-         SystemConfig::scaled());
+         apply(SystemConfig::scaled()));
     return peibench::benchFinish();
 }

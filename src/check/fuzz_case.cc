@@ -7,7 +7,9 @@
 
 #include "check/golden.hh"
 #include "check/probes.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
+#include "net/topology.hh"
 #include "runtime/runtime.hh"
 
 namespace pei
@@ -85,6 +87,21 @@ fuzzConfig(unsigned config_index, std::uint64_t master_seed, ExecMode mode)
     cfg.pim.coherence.policy = policies[rng.below(2)];
     cfg.pim.coherence.signature_bits = rng.chance(0.5) ? 64 : 256;
     cfg.pim.coherence.batch_peis = rng.chance(0.5) ? 4 : 16;
+
+    // Interconnect and PMU-sharding draws appended after everything
+    // else (same replay-stability rule as the backend and coherence
+    // draws above).  Chain appears twice: it is the paper default and
+    // the byte-identity baseline; cube counts stay small so the
+    // golden cross-check stays fast.
+    static const char *const topos[] = {"chain", "ring", "mesh",
+                                        "chain"};
+    const bool topo_ok =
+        parseTopology(topos[rng.below(4)], cfg.hmc.topology);
+    fatal_if(!topo_ok, "fuzzConfig drew an unknown topology");
+    const unsigned cube_counts[] = {1, 2, 4};
+    cfg.hmc.num_cubes = cube_counts[rng.below(3)];
+    const unsigned bank_counts[] = {1, 2, 4};
+    cfg.pim.pmu_shards = bank_counts[rng.below(3)];
     return cfg;
 }
 
@@ -181,6 +198,22 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
         cfg.pim.coherence.policy = id.coherence;
     if (opt.inject == InjectBug::SkipConflictCheck)
         cfg.pim.coherence.policy = "lazy"; // the injection's target
+    const auto applyTopology = [&cfg](const std::string &name) {
+        const bool known = parseTopology(name, cfg.hmc.topology);
+        fatal_if(!known, "simfuzz: unknown topology '%s'", name.c_str());
+    };
+    if (!opt.topology.empty())
+        applyTopology(opt.topology);
+    if (!id.topology.empty())
+        applyTopology(id.topology); // a pinned reproducer wins
+    if (opt.cubes)
+        cfg.hmc.num_cubes = opt.cubes;
+    if (id.cubes)
+        cfg.hmc.num_cubes = id.cubes;
+    if (opt.pmu_shards)
+        cfg.pim.pmu_shards = opt.pmu_shards;
+    if (id.pmu_shards)
+        cfg.pim.pmu_shards = id.pmu_shards;
     cfg.shards = opt.shards;
     System sys(cfg);
     std::optional<WatchGuard> guard;
@@ -189,7 +222,10 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
 
     switch (opt.inject) {
       case InjectBug::SkipUnlock:
-        sys.pmu().directory().injectSkipRelease(1);
+        // Every bank: the faulted case must trip whichever bank the
+        // program's first released block happens to live in.
+        for (unsigned s = 0; s < sys.pmu().pmuShards(); ++s)
+            sys.pmu().directoryBank(s).injectSkipRelease(1);
         break;
       case InjectBug::SkipBackInval:
         sys.caches().injectSkipBackInvalidate(1);
@@ -358,6 +394,12 @@ FuzzCaseResult::summary() const
         os << " backend=" << id.backend;
     if (!id.coherence.empty())
         os << " coherence=" << id.coherence;
+    if (!id.topology.empty() && id.topology != "chain")
+        os << " topology=" << id.topology;
+    if (id.cubes > 1)
+        os << " cubes=" << id.cubes;
+    if (id.pmu_shards > 1)
+        os << " pmu_shards=" << id.pmu_shards;
     if (id.prefix != full_prefix)
         os << " prefix=" << id.prefix;
     if (id.thread_mask != 0xffffffffu)
@@ -396,6 +438,22 @@ runFuzzCase(const FuzzCaseId &id, const FuzzOptions &opt, JobCtx *ctx)
                 : fuzzConfig(id.config, opt.master_seed,
                              ExecMode::HostOnly)
                       .pim.coherence.policy;
+    }
+    // So are the interconnect topology, cube count, and PMU banks.
+    {
+        const SystemConfig drawn =
+            fuzzConfig(id.config, opt.master_seed, ExecMode::HostOnly);
+        if (res.id.topology.empty()) {
+            res.id.topology = !opt.topology.empty()
+                                  ? opt.topology
+                                  : topologyName(drawn.hmc.topology);
+        }
+        if (!res.id.cubes)
+            res.id.cubes = opt.cubes ? opt.cubes : drawn.hmc.num_cubes;
+        if (!res.id.pmu_shards) {
+            res.id.pmu_shards =
+                opt.pmu_shards ? opt.pmu_shards : drawn.pim.pmu_shards;
+        }
     }
 
     const FuzzProgram prog =
@@ -517,6 +575,12 @@ replayFileContents(const FuzzCaseId &id, const FuzzOptions &opt)
         os << "backend=" << id.backend << "\n";
     if (!id.coherence.empty())
         os << "coherence=" << id.coherence << "\n";
+    if (!id.topology.empty())
+        os << "topology=" << id.topology << "\n";
+    if (id.cubes)
+        os << "cubes=" << id.cubes << "\n";
+    if (id.pmu_shards)
+        os << "pmu_shards=" << id.pmu_shards << "\n";
     return os.str();
 }
 
@@ -574,6 +638,14 @@ parseReplayFile(const std::string &text, FuzzCaseId &id, FuzzOptions &opt)
                 id.backend = value;
             } else if (key == "coherence") {
                 id.coherence = value;
+            } else if (key == "topology") {
+                id.topology = value;
+            } else if (key == "cubes") {
+                id.cubes =
+                    static_cast<unsigned>(std::stoul(value, nullptr, 0));
+            } else if (key == "pmu_shards") {
+                id.pmu_shards =
+                    static_cast<unsigned>(std::stoul(value, nullptr, 0));
             } else {
                 return false;
             }
@@ -598,6 +670,12 @@ replayCommand(const FuzzCaseId &id, const FuzzOptions &opt)
         os << " --replay-backend " << id.backend;
     if (!id.coherence.empty())
         os << " --replay-coherence " << id.coherence;
+    if (!id.topology.empty())
+        os << " --replay-topology " << id.topology;
+    if (id.cubes)
+        os << " --replay-cubes " << id.cubes;
+    if (id.pmu_shards)
+        os << " --replay-pmu-shards " << id.pmu_shards;
     os << " --master-seed " << opt.master_seed << " --configs "
        << opt.num_configs;
     if (opt.inject != InjectBug::None)

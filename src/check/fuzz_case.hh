@@ -46,6 +46,15 @@ struct FuzzCaseId
      * the same way as @ref backend for reproducer stability.
      */
     std::string coherence;
+    /**
+     * Interconnect topology the case ran on ("chain"/"ring"/"mesh");
+     * pinned like @ref backend.  Empty = unpinned.
+     */
+    std::string topology;
+    /** Memory cubes on the interconnect; 0 = unpinned. */
+    unsigned cubes = 0;
+    /** Address-partitioned PMU banks; 0 = unpinned. */
+    unsigned pmu_shards = 0;
 };
 
 /** Hidden fault injections validating the checker itself. */
@@ -72,6 +81,12 @@ struct FuzzOptions
     std::string backend;
     /** Force one coherence policy; empty = fuzzed per config. */
     std::string coherence;
+    /** Force one topology; empty = fuzzed per config. */
+    std::string topology;
+    /** Force a cube count; 0 = fuzzed per config. */
+    unsigned cubes = 0;
+    /** Force a PMU bank count; 0 = fuzzed per config. */
+    unsigned pmu_shards = 0;
     /**
      * Event-queue shards per simulated System (`--shards`).  1 = the
      * sequential engine; N > 1 runs every mode of every case on the

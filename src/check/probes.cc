@@ -58,10 +58,18 @@ checkOnce(System &sys, LinkWatermark *wm)
     if (!cache_v.empty())
         throw FuzzViolation("cache invariant: " + cache_v);
 
-    // PIM-directory holder bookkeeping.
-    const std::string dir_v = sys.pmu().directory().probeViolation();
-    if (!dir_v.empty())
-        throw FuzzViolation("pim directory: " + dir_v);
+    // PIM-directory holder bookkeeping, every PMU bank.
+    for (unsigned s = 0; s < sys.pmu().pmuShards(); ++s) {
+        const std::string dir_v =
+            sys.pmu().directoryBank(s).probeViolation();
+        if (!dir_v.empty()) {
+            throw FuzzViolation(
+                sys.pmu().pmuShards() == 1
+                    ? "pim directory: " + dir_v
+                    : "pim directory bank " + std::to_string(s) +
+                          ": " + dir_v);
+        }
+    }
 
     // Coherence-policy bookkeeping (batch tables, signature bounds).
     const std::string coh_v = sys.pmu().coherence().probeViolation();

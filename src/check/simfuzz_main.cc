@@ -60,9 +60,16 @@ usage(const char *argv0)
         "                       (eager | lazy; default: fuzzed)\n"
         "  --shards N           event-queue shards per System\n"
         "                       (default 1 = sequential engine)\n"
+        "  --topology T         pin every case to one interconnect\n"
+        "                       (chain | ring | mesh; default: fuzzed)\n"
+        "  --cubes N            pin the cube count (default: fuzzed)\n"
+        "  --pmu-shards N       pin the PMU bank count (default: "
+        "fuzzed)\n"
         "  --replay-seed S      replay one case (with --replay-config,\n"
         "                       --replay-prefix, --replay-mask,\n"
-        "                       --replay-backend, --replay-coherence)\n"
+        "                       --replay-backend, --replay-coherence,\n"
+        "                       --replay-topology, --replay-cubes,\n"
+        "                       --replay-pmu-shards)\n"
         "  --replay-file FILE   replay a written reproducer\n"
         "  --jobs N / --timeout-s S / --no-progress  (sweep driver)\n",
         argv0);
@@ -114,6 +121,12 @@ replayOne(const FuzzCaseId &id, const FuzzOptions &opt)
         std::printf(" backend=%s", id.backend.c_str());
     if (!id.coherence.empty())
         std::printf(" coherence=%s", id.coherence.c_str());
+    if (!id.topology.empty())
+        std::printf(" topology=%s", id.topology.c_str());
+    if (id.cubes)
+        std::printf(" cubes=%u", id.cubes);
+    if (id.pmu_shards)
+        std::printf(" pmu_shards=%u", id.pmu_shards);
     if (id.prefix != full_prefix)
         std::printf(" prefix=%zu", id.prefix);
     if (id.thread_mask != 0xffffffffu)
@@ -172,6 +185,13 @@ main(int argc, char **argv)
         fopt.coherence = *v;
     if (const auto v = flagValue(argc, argv, "--shards"))
         fopt.shards = static_cast<unsigned>(parseU64(*v, "--shards"));
+    if (const auto v = flagValue(argc, argv, "--topology"))
+        fopt.topology = *v;
+    if (const auto v = flagValue(argc, argv, "--cubes"))
+        fopt.cubes = static_cast<unsigned>(parseU64(*v, "--cubes"));
+    if (const auto v = flagValue(argc, argv, "--pmu-shards"))
+        fopt.pmu_shards =
+            static_cast<unsigned>(parseU64(*v, "--pmu-shards"));
     if (const auto v = flagValue(argc, argv, "--inject-bug")) {
         if (*v == "skip-unlock") {
             fopt.inject = InjectBug::SkipUnlock;
@@ -224,6 +244,14 @@ main(int argc, char **argv)
             id.backend = *v;
         if (const auto v = flagValue(argc, argv, "--replay-coherence"))
             id.coherence = *v;
+        if (const auto v = flagValue(argc, argv, "--replay-topology"))
+            id.topology = *v;
+        if (const auto v = flagValue(argc, argv, "--replay-cubes"))
+            id.cubes =
+                static_cast<unsigned>(parseU64(*v, "--replay-cubes"));
+        if (const auto v = flagValue(argc, argv, "--replay-pmu-shards"))
+            id.pmu_shards = static_cast<unsigned>(
+                parseU64(*v, "--replay-pmu-shards"));
         return replayOne(id, fopt);
     }
 
@@ -238,8 +266,18 @@ main(int argc, char **argv)
         !fopt.coherence.empty() && fopt.coherence != "eager"
             ? ", coherence " + fopt.coherence
             : "";
+    // Same rule for the interconnect pins: pinning a default
+    // explicitly (chain, 1 cube, 1 bank) must not change stdout.
+    std::string net_note;
+    if (!fopt.topology.empty() && fopt.topology != "chain")
+        net_note += ", topology " + fopt.topology;
+    if (fopt.cubes > 1)
+        net_note += ", cubes " + std::to_string(fopt.cubes);
+    if (fopt.pmu_shards > 1)
+        net_note += ", pmu-shards " + std::to_string(fopt.pmu_shards);
     std::printf("simfuzz: %llu case(s), %u fuzzed config(s), "
-                "master seed %llu, probe every %llu event(s)%s%s%s%s%s%s\n",
+                "master seed %llu, probe every %llu "
+                "event(s)%s%s%s%s%s%s%s\n",
                 static_cast<unsigned long long>(cases),
                 fopt.num_configs,
                 static_cast<unsigned long long>(fopt.master_seed),
@@ -250,7 +288,7 @@ main(int argc, char **argv)
                     : "",
                 fopt.backend.empty() ? "" : ", backend ",
                 fopt.backend.c_str(), coherence_note.c_str(),
-                shards_note.c_str());
+                net_note.c_str(), shards_note.c_str());
 
     Sweep sweep;
     std::vector<FuzzCaseResult> results(cases);

@@ -7,8 +7,10 @@
 #include <algorithm>
 
 #include "coherence/policy.hh"
+#include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "mem/backend.hh"
+#include "net/topology.hh"
 
 namespace pei
 {
@@ -90,6 +92,33 @@ sweepOptionsFromArgs(int argc, char **argv)
                      "--shards wants a positive integer, got '%s'",
                      value.c_str());
             opts.shards = static_cast<unsigned>(n);
+        } else if (flagValue(argc, argv, i, "--topology", value)) {
+            Topology t;
+            if (!parseTopology(value, t)) {
+                std::string known;
+                for (const auto &n : topologyNames())
+                    known += (known.empty() ? "" : ", ") + n;
+                fatal("--topology '%s' is not a topology (known: %s)",
+                      value.c_str(), known.c_str());
+            }
+            opts.topology = value;
+        } else if (flagValue(argc, argv, i, "--cubes", value)) {
+            char *end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            fatal_if(!end || *end != '\0' || n < 1 ||
+                         !isPowerOf2(static_cast<std::uint64_t>(n)),
+                     "--cubes wants a positive power of two, got '%s'",
+                     value.c_str());
+            opts.cubes = static_cast<unsigned>(n);
+        } else if (flagValue(argc, argv, i, "--pmu-shards", value)) {
+            char *end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            fatal_if(!end || *end != '\0' || n < 1 ||
+                         !isPowerOf2(static_cast<std::uint64_t>(n)),
+                     "--pmu-shards wants a positive power of two, "
+                     "got '%s'",
+                     value.c_str());
+            opts.pmu_shards = static_cast<unsigned>(n);
         } else if (std::strcmp(argv[i], "--list") == 0) {
             opts.list = true;
         } else if (std::strcmp(argv[i], "--no-progress") == 0) {

@@ -11,6 +11,9 @@
  *   --coherence P   offload coherence policy (eager | lazy)
  *   --shards N      event-queue shards per simulated System
  *                   (1 = the sequential engine; sim/sharded_queue.hh)
+ *   --topology T    off-chip interconnect (chain | ring | mesh)
+ *   --cubes N       memory cubes on the interconnect (power of two)
+ *   --pmu-shards N  address-partitioned PMU banks (power of two)
  *
  * Both "--flag value" and "--flag=value" spellings are accepted;
  * flags the sweep does not own (e.g. --stats-json) are ignored.
@@ -35,6 +38,12 @@ struct SweepOptions
     std::string coherence;
     /** Event-queue shards per System; 0 = each job's default (1). */
     unsigned shards = 0;
+    /** Interconnect topology key; empty = each job's default. */
+    std::string topology;
+    /** Memory cubes on the interconnect; 0 = each job's default. */
+    unsigned cubes = 0;
+    /** PMU banks; 0 = each job's default (1, the shared PMU). */
+    unsigned pmu_shards = 0;
     bool list = false;
     bool progress = true;
 };

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/logging.hh"
+#include "net/topology.hh"
 #include "runtime/report.hh"
 #include "runtime/runtime.hh"
 
@@ -60,6 +62,15 @@ runSimJob(const SimJob &job, JobCtx &ctx)
         cfg.pim.coherence.policy = job.coherence;
     if (job.shards)
         cfg.shards = job.shards;
+    if (!job.topology.empty()) {
+        const bool known = parseTopology(job.topology, cfg.hmc.topology);
+        fatal_if(!known, "job '%s': unknown topology '%s'",
+                 job.label.c_str(), job.topology.c_str());
+    }
+    if (job.cubes)
+        cfg.hmc.num_cubes = job.cubes;
+    if (job.pmu_shards)
+        cfg.pim.pmu_shards = job.pmu_shards;
     if (job.tweak)
         job.tweak(cfg);
     System sys(cfg);

@@ -97,6 +97,13 @@ struct SimJob
     /** Event-queue shards; 0 = the config's default (sequential).
      *  Applied before @ref tweak so a tweak can still override. */
     unsigned shards = 0;
+    /** Interconnect topology key; empty = the config's default
+     *  (chain).  Applied before @ref tweak, like mem_backend. */
+    std::string topology;
+    /** Memory cubes on the interconnect; 0 = the config's default. */
+    unsigned cubes = 0;
+    /** PMU banks; 0 = the config's default (1, the shared PMU). */
+    unsigned pmu_shards = 0;
     ConfigTweak tweak;
     unsigned threads = 0;  ///< 0 = one coroutine per core
 

@@ -18,8 +18,14 @@ computeEnergy(const StatRegistry &stats, const EnergyParams &p)
                l3 * p.l3_access_pj + xbar * p.xbar_msg_pj;
 
     const auto snap = stats.snapshot();
+    const auto endsWith = [](const std::string &name, const char *sfx) {
+        const std::size_t n = std::char_traits<char>::length(sfx);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, sfx) == 0;
+    };
     double acts = 0.0, reads = 0.0, writes = 0.0, tsv_bytes = 0.0;
     double host_ops = 0.0, mem_ops = 0.0;
+    double flits = 0.0, dir_ops = 0.0, mon_ops = 0.0;
     for (const auto &[name, value] : snap) {
         const auto v = static_cast<double>(value);
         // DRAM arrays live behind "vaultN." (hmc backend) or
@@ -40,6 +46,24 @@ computeEnergy(const StatRegistry &stats, const EnergyParams &p)
         } else if (name.rfind("mem_pcu", 0) == 0 &&
                    name.find(".executed") != std::string::npos) {
             mem_ops += v;
+        } else if (name.rfind("link", 0) == 0 &&
+                   endsWith(name, ".flits")) {
+            // Every physical interconnect link registers
+            // "link<N>.flits"; summing the prefix family charges each
+            // hop a flit traversed, however many links the topology
+            // has.  (The injected "net.req/res.flits" counters count
+            // packets once and are deliberately excluded.)
+            flits += v;
+        } else if (name.find("pim_dir.") != std::string::npos &&
+                   endsWith(name, ".acquires")) {
+            // "pim_dir.acquires" unsharded, "pmuN.pim_dir.acquires"
+            // per bank — one array access per acquire either way.
+            dir_ops += v;
+        } else if (name.find("loc_mon.") != std::string::npos &&
+                   endsWith(name, ".lookups")) {
+            // Every PEI lookup reads the monitor array exactly once
+            // (hit, miss, and ignored hit alike).
+            mon_ops += v;
         }
     }
     e.dram = acts * p.dram_activate_pj +
@@ -48,23 +72,10 @@ computeEnergy(const StatRegistry &stats, const EnergyParams &p)
 
     // Only the hmc backend has packetized off-chip links; the other
     // backends fold bus energy into their per-access costs.
-    const double flits =
-        (stats.has("link.req.flits")
-             ? static_cast<double>(stats.get("link.req.flits"))
-             : 0.0) +
-        (stats.has("link.res.flits")
-             ? static_cast<double>(stats.get("link.res.flits"))
-             : 0.0);
     e.offchip = flits * p.link_flit_pj;
 
     e.pcu = host_ops * p.host_pcu_op_pj + mem_ops * p.mem_pcu_op_pj;
 
-    const double dir_ops =
-        static_cast<double>(stats.get("pim_dir.acquires"));
-    // Every PEI lookup reads the monitor array exactly once (hit,
-    // miss, and ignored hit alike).
-    const double mon_ops =
-        static_cast<double>(stats.get("loc_mon.lookups"));
     e.pmu = dir_ops * p.pim_dir_access_pj + mon_ops * p.loc_mon_access_pj;
 
     return e;

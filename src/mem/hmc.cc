@@ -8,41 +8,30 @@
 namespace pei
 {
 
-HmcLink::HmcLink(EventQueue &eq, const HmcLinkConfig &cfg,
-                 const std::string &name, StatRegistry &stats)
-    : eq(eq), cfg(cfg)
+namespace
 {
-    // bytes/tick = (GB/s) / (ticks/s) * 1e9
-    bytes_per_tick = cfg.gbps * 1e9 / static_cast<double>(ticks_per_second);
-    prop_latency = nsToTicks(cfg.latency_ns);
-    hop_latency = nsToTicks(cfg.hop_ns);
-    stats.add(name + ".flits", &stat_flits);
-    stats.add(name + ".bytes", &stat_bytes);
+
+NetConfig
+netConfigOf(const HmcConfig &cfg)
+{
+    NetConfig net;
+    net.topology = cfg.topology;
+    net.cubes = cfg.num_cubes;
+    net.gbps = cfg.link.gbps;
+    net.latency_ns = cfg.link.latency_ns;
+    net.hop_ns = cfg.link.hop_ns;
+    net.flit_bytes = cfg.link.flit_bytes;
+    return net;
 }
 
-Tick
-HmcLink::send(unsigned bytes, unsigned cube)
-{
-    // Packets occupy whole flits on the wire.
-    const unsigned flits =
-        (bytes + cfg.flit_bytes - 1) / cfg.flit_bytes;
-    const unsigned wire_bytes = flits * cfg.flit_bytes;
-    const Tick start = std::max(eq.now(), free_at);
-    const auto duration = static_cast<Ticks>(
-        std::ceil(static_cast<double>(wire_bytes) / bytes_per_tick));
-    free_at = start + duration;
-    stat_flits += flits;
-    stat_bytes += wire_bytes;
-    return free_at + prop_latency + hop_latency * cube;
-}
+} // namespace
 
 HmcBackend::HmcBackend(ShardedQueue &sq, const HmcConfig &cfg,
                        StatRegistry &stats, std::uint64_t phys_bytes)
     : sq(sq), eq(sq.host()), cfg(cfg),
       map(cfg.num_cubes, cfg.vaults_per_cube, cfg.dram.banks_per_vault,
           cfg.dram.row_bytes, phys_bytes),
-      req_link(eq, cfg.link, "link.req", stats),
-      res_link(eq, cfg.link, "link.res", stats)
+      net(eq, netConfigOf(cfg), stats)
 {
     const unsigned total = cfg.num_cubes * cfg.vaults_per_cube;
     vaults.reserve(total);
@@ -87,7 +76,7 @@ HmcBackend::readBlock(Addr paddr, Callback cb)
     ema_req.add(flitsOf(16), eq.now());
 
     const Tick issued = eq.now();
-    const Tick arrive = req_link.send(16, loc.cube);
+    const Tick arrive = net.sendRequest(16, loc.cube);
     const std::uint32_t txn =
         read_txns.emplace(ReadTxn{paddr, loc, issued, std::move(cb)});
     // The arrival event runs on the vault's shard.  It captures plain
@@ -106,7 +95,7 @@ HmcBackend::readDone(std::uint32_t txn)
 {
     ReadTxn &t = read_txns[txn];
     ema_res.add(flitsOf(16 + block_size), eq.now());
-    const Tick back = res_link.send(16 + block_size, t.loc.cube);
+    const Tick back = net.sendResponse(16 + block_size, t.loc.cube);
     hist_read_ticks.record(back - t.issued);
     Callback cb = std::move(t.cb);
     read_txns.erase(txn);
@@ -120,7 +109,7 @@ HmcBackend::writeBlock(Addr paddr, Callback cb)
     const MemLoc loc = map.decode(paddr);
     ema_req.add(flitsOf(16 + block_size), eq.now());
 
-    const Tick arrive = req_link.send(16 + block_size, loc.cube);
+    const Tick arrive = net.sendRequest(16 + block_size, loc.cube);
     const std::uint32_t txn =
         write_txns.emplace(WriteTxn{paddr, loc, std::move(cb)});
     const unsigned gv = loc.globalVault;
@@ -162,7 +151,7 @@ HmcBackend::sendPim(PimPacket pkt, PimHandler::Respond cb)
 
     ema_req.add(flitsOf(pkt.requestBytes()), eq.now());
     const Tick issued = eq.now();
-    const Tick arrive = req_link.send(pkt.requestBytes(), loc.cube);
+    const Tick arrive = net.sendRequest(pkt.requestBytes(), loc.cube);
     const std::uint32_t txn =
         pim_txns.emplace(PimTxn{loc, issued, std::move(pkt), std::move(cb)});
     // Capture the slot's stable address here, on the host: slots live
@@ -187,12 +176,12 @@ HmcBackend::pimDone(std::uint32_t txn)
     Tick back;
     if (bytes > 0) {
         ema_res.add(flitsOf(bytes), eq.now());
-        back = res_link.send(bytes, t.loc.cube);
+        back = net.sendResponse(bytes, t.loc.cube);
     } else {
-        // Posted ack: propagation latency only, no link occupancy
-        // (acks aggregate into idle flits).
-        back = eq.now() + nsToTicks(cfg.link.latency_ns) +
-               nsToTicks(cfg.link.hop_ns) * t.loc.cube;
+        // Posted ack: the response route's propagation + per-hop
+        // latency, no link occupancy (acks aggregate into idle
+        // flits).
+        back = eq.now() + net.ackLatency(t.loc.cube);
     }
     hist_pim_roundtrip_ticks.record(back - t.issued);
     eq.scheduleAt(back, [this, txn] { pimRespond(txn); });

@@ -1,8 +1,10 @@
 /**
  * @file
- * HMC main memory: cubes of vaults behind a daisy-chained,
- * packetized off-chip interface with separate request and response
- * links (paper Table 2: 8 HMCs, 80 GB/s full-duplex daisy chain).
+ * HMC main memory: cubes of vaults behind a packetized off-chip
+ * interconnect (net/interconnect.hh) with separate request and
+ * response channels.  The default chain topology is the paper's
+ * Table 2 daisy chain (8 HMCs, 80 GB/s full-duplex); ring and mesh
+ * route packets over a real multi-hop cube network.
  *
  * Link cost model follows the paper's footnote 7: a memory read
  * consumes 16 B of request and 80 B of response bandwidth; a write
@@ -25,6 +27,7 @@
 #include "mem/backend.hh"
 #include "mem/dram.hh"
 #include "mem/pim_iface.hh"
+#include "net/interconnect.hh"
 #include "sim/continuation.hh"
 #include "sim/event_queue.hh"
 #include "sim/sharded_queue.hh"
@@ -47,37 +50,11 @@ struct HmcConfig
 {
     unsigned num_cubes = 8;
     unsigned vaults_per_cube = 16;
+    /** How the cubes are wired to the host (net/topology.hh); chain
+     *  is the paper's daisy chain and the byte-identical default. */
+    Topology topology = Topology::Chain;
     DramConfig dram;
     HmcLinkConfig link;
-};
-
-/**
- * A serialized unidirectional off-chip channel.  send() occupies the
- * channel for bytes/bandwidth and returns the arrival tick at the
- * far end (including propagation and daisy-chain hops).
- */
-class HmcLink
-{
-  public:
-    HmcLink(EventQueue &eq, const HmcLinkConfig &cfg,
-            const std::string &name, StatRegistry &stats);
-
-    /** Transmit @p bytes to/from cube @p cube; returns arrival tick. */
-    Tick send(unsigned bytes, unsigned cube);
-
-    std::uint64_t flits() const { return stat_flits.value(); }
-    std::uint64_t bytes() const { return stat_bytes.value(); }
-
-  private:
-    EventQueue &eq;
-    HmcLinkConfig cfg;
-    double bytes_per_tick;
-    Ticks prop_latency;
-    Ticks hop_latency;
-    Tick free_at = 0;
-
-    Counter stat_flits;
-    Counter stat_bytes;
 };
 
 /**
@@ -181,14 +158,17 @@ class HmcBackend : public MemoryBackend
 
     const AddrMap &addrMap() const override { return map; }
 
+    /** Memory partitions follow the topology's cube population:
+     *  cubes x vaults_per_cube vaults, one shardable unit each. */
     unsigned memPartitions() const override { return totalVaults(); }
 
-    /** Lookahead: the request link's propagation latency — every
-     *  host-to-vault edge carries at least this much delay. */
+    /** Lookahead: the interconnect's shortest host-to-cube latency —
+     *  every host-to-vault edge carries at least this much delay
+     *  (each route starts with a host link charging it). */
     Ticks
     minCrossShardLatency() const override
     {
-        return nsToTicks(cfg.link.latency_ns);
+        return net.minHostLatency();
     }
 
     EventQueue &
@@ -209,13 +189,17 @@ class HmcBackend : public MemoryBackend
     /** EMA of response-link flits (balanced dispatch input). */
     double emaResponseFlits() override { return ema_res.value(eq.now()); }
 
-    /** Raw per-direction off-chip byte counters. */
-    std::uint64_t requestBytes() const override { return req_link.bytes(); }
-    std::uint64_t responseBytes() const override { return res_link.bytes(); }
+    /** Raw per-direction off-chip byte counters (injected traffic,
+     *  counted once per packet on every topology). */
+    std::uint64_t requestBytes() const override { return net.requestBytes(); }
+    std::uint64_t responseBytes() const override { return net.responseBytes(); }
 
     /** Raw per-direction off-chip flit counters (probe hooks). */
-    std::uint64_t requestFlits() const override { return req_link.flits(); }
-    std::uint64_t responseFlits() const override { return res_link.flits(); }
+    std::uint64_t requestFlits() const override { return net.requestFlits(); }
+    std::uint64_t responseFlits() const override { return net.responseFlits(); }
+
+    /** The off-chip network (routing/link stats, scale-out probes). */
+    const Interconnect &interconnect() const { return net; }
 
   private:
     /**
@@ -281,8 +265,7 @@ class HmcBackend : public MemoryBackend
     EventQueue &eq; ///< the host shard's queue (sq.host())
     HmcConfig cfg;
     AddrMap map;
-    HmcLink req_link;
-    HmcLink res_link;
+    Interconnect net;
     EmaCounter ema_req;
     EmaCounter ema_res;
     std::vector<std::unique_ptr<Vault>> vaults;

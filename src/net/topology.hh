@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Interconnect topologies for the multi-cube off-chip network.
+ *
+ * The paper's Table 2 system daisy-chains 8 HMCs behind one
+ * full-duplex link pair; production-scale systems route packets over
+ * ring or mesh cube networks instead (see the "Enabling the Adoption
+ * of PIM" scalability discussion).  The topology only changes how
+ * packets are routed and serialized — the memory geometry (cubes x
+ * vaults) and the flit cost model are shared.
+ */
+
+#ifndef PEISIM_NET_TOPOLOGY_HH
+#define PEISIM_NET_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace pei
+{
+
+enum class Topology
+{
+    Chain, ///< the paper's daisy chain: one serialized channel per
+           ///< direction spanning all cubes (byte-identical default)
+    Ring,  ///< bidirectional ring over the cubes, shortest-direction
+           ///< routing, host attached at cube 0
+    Mesh,  ///< 2D mesh, XY (dimension-order) routing, host at (0,0)
+};
+
+/** Registry key / display name of @p t ("chain" | "ring" | "mesh"). */
+const char *topologyName(Topology t);
+
+/** Parse a registry key; returns false on an unknown name. */
+bool parseTopology(const std::string &name, Topology &out);
+
+/** Every valid registry key, for flag validation messages. */
+std::vector<std::string> topologyNames();
+
+/**
+ * Mesh columns for @p cubes (a power of two): the squarest layout
+ * with cols >= rows, e.g. 8 -> 4x2, 4 -> 2x2, 2 -> 2x1, 16 -> 4x4.
+ */
+unsigned meshCols(unsigned cubes);
+
+} // namespace pei
+
+#endif // PEISIM_NET_TOPOLOGY_HH

@@ -82,6 +82,10 @@ class PimDirectory
     /** In-flight writer PEIs (granted or queued). */
     std::uint64_t inFlightWriters() const { return writers_in_flight; }
 
+    /** Granted acquisitions / releases (aggregate-invariant hooks). */
+    std::uint64_t acquires() const { return stat_acquires.value(); }
+    std::uint64_t releases() const { return stat_releases.value(); }
+
     /** Acquisitions that had to wait behind a holder. */
     std::uint64_t conflicts() const { return stat_conflicts.value(); }
 

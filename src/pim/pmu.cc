@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bitutil.hh"
 #include "common/logging.hh"
 
 namespace pei
@@ -24,21 +25,45 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
          MemoryBackend &mem, VirtualMemory &vm, StatRegistry &stats)
     : eq(eq), cfg(cfg), hierarchy(hierarchy), mem(mem), vm(vm)
 {
+    // Address-partitioned PMU banks: block-interleaved across
+    // pmu_shards directory/monitor pairs, splitting the capacity so
+    // total reach is unchanged.  One shard keeps the legacy stat
+    // names and is byte-identical to the unsharded PMU.
+    const unsigned nshards = cfg.pmu_shards ? cfg.pmu_shards : 1;
+    fatal_if(!isPowerOf2(nshards),
+             "pmu_shards must be a power of two, got %u",
+             cfg.pmu_shards);
+    shard_bits = floorLog2(nshards);
+    shard_mask = nshards - 1;
+
     // Ideal-Host idealizes the directory: exact tracking, zero
     // latency, PEIs behave like host instructions (§7: "its PIM
     // directory is infinitely large and can be accessed in zero
-    // cycles").
+    // cycles").  Entry count 0 also selects the ideal directory
+    // (§7.6 ablation), so it must not be divided per bank.
     const bool ideal = cfg.mode == ExecMode::IdealHost;
-    dir = std::make_unique<PimDirectory>(
-        eq, ideal ? 0 : cfg.directory_entries,
-        ideal ? 0 : cfg.directory_latency, stats);
+    const unsigned dir_entries =
+        (ideal || cfg.directory_entries == 0)
+            ? 0
+            : std::max(1u, cfg.directory_entries >> shard_bits);
 
     const unsigned sets = cfg.monitor_sets ? cfg.monitor_sets : l3_sets;
     const unsigned ways = cfg.monitor_ways ? cfg.monitor_ways : l3_ways;
-    mon = std::make_unique<LocalityMonitor>(sets, ways, stats,
-                                            cfg.monitor_partial_tag_bits,
-                                            cfg.monitor_ignore_flag);
-    mon->setAccessLatency(cfg.monitor_latency);
+    const unsigned bank_sets = std::max(1u, sets >> shard_bits);
+
+    dirs.reserve(nshards);
+    mons.reserve(nshards);
+    for (unsigned s = 0; s < nshards; ++s) {
+        const std::string prefix =
+            nshards == 1 ? "" : "pmu" + std::to_string(s) + ".";
+        dirs.push_back(std::make_unique<PimDirectory>(
+            eq, dir_entries, ideal ? 0 : cfg.directory_latency, stats,
+            prefix + "pim_dir"));
+        mons.push_back(std::make_unique<LocalityMonitor>(
+            bank_sets, ways, stats, cfg.monitor_partial_tag_bits,
+            cfg.monitor_ignore_flag, prefix + "loc_mon"));
+        mons.back()->setAccessLatency(cfg.monitor_latency);
+    }
 
     coh = createCoherencePolicy(cfg.coherence.policy, eq, hierarchy,
                                 cfg.coherence, stats);
@@ -47,8 +72,9 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
     // only when locality-aware execution is enabled; Host-Only and
     // PIM-Only "disable the locality monitor" (§7).
     if (cfg.mode == ExecMode::LocalityAware) {
-        hierarchy.setL3AccessListener(
-            [this](Addr block) { mon->onL3Access(block); });
+        hierarchy.setL3AccessListener([this](Addr block) {
+            monFor(block).onL3Access(bankBlock(block));
+        });
     }
 
     host_pcus.reserve(cores);
@@ -131,6 +157,40 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
                        " != back-writebacks=" + std::to_string(bw);
             });
     }
+    // Sharded PMU: the per-bank invariants (lookup partition,
+    // acquire/release balance, writer drain) register inside each
+    // bank; these aggregate views re-check the same identities across
+    // all banks so a packet routed to the wrong bank cannot balance
+    // out locally yet corrupt the total.
+    if (nshards > 1) {
+        stats.addInvariant(
+            "pmu.sharded directory acquires == releases in total",
+            [this] {
+                std::uint64_t acq = 0, rel = 0;
+                for (const auto &d : dirs) {
+                    acq += d->acquires();
+                    rel += d->releases();
+                }
+                if (acq == rel)
+                    return std::string();
+                return "total acquires=" + std::to_string(acq) +
+                       " != total releases=" + std::to_string(rel);
+            });
+        stats.addInvariant(
+            "pmu.sharded monitor lookups partition in total",
+            [this] {
+                std::uint64_t lookups = 0, split = 0;
+                for (const auto &m : mons) {
+                    lookups += m->lookups();
+                    split += m->hits() + m->misses() + m->ignoredHits();
+                }
+                if (lookups == split)
+                    return std::string();
+                return "total lookups=" + std::to_string(lookups) +
+                       " != hits+misses+ignored=" +
+                       std::to_string(split);
+            });
+    }
 }
 
 void
@@ -145,7 +205,7 @@ Pmu::executePei(unsigned core, PeiOpcode op, Addr paddr, const void *input,
     // in their TLB-penalty or crossbar window; the directory retires
     // the writer in Pmu::finish via release().
     if (pkt.is_writer)
-        dir->registerWriter();
+        dirFor(pkt.paddr >> block_shift).registerWriter();
 
     const std::uint32_t txn =
         txns.emplace(PeiTxn{std::move(pkt), std::move(done), core});
@@ -166,8 +226,9 @@ Pmu::startPei(std::uint32_t txn)
         const Addr block = t.pkt.paddr >> block_shift;
         const bool writer = t.pkt.is_writer;
         t.asked = eq.now();
-        dir->acquire(block, writer, [this, txn] { idealGranted(txn); },
-                     /*writer_registered=*/writer);
+        dirFor(block).acquire(bankBlock(block), writer,
+                              [this, txn] { idealGranted(txn); },
+                              /*writer_registered=*/writer);
         return;
     }
 
@@ -197,8 +258,9 @@ Pmu::acquireLock(std::uint32_t txn)
     const Addr block = t.pkt.paddr >> block_shift;
     const bool writer = t.pkt.is_writer;
     t.asked = eq.now();
-    dir->acquire(block, writer, [this, txn] { lockGranted(txn); },
-                 /*writer_registered=*/writer);
+    dirFor(block).acquire(bankBlock(block), writer,
+                          [this, txn] { lockGranted(txn); },
+                          /*writer_registered=*/writer);
 }
 
 void
@@ -229,8 +291,8 @@ Pmu::decide(std::uint32_t txn)
     // directory (Fig. 4 step ②); charge only the extra latency
     // beyond the directory lookup.
     const Ticks extra =
-        mon->accessLatency() > dir->accessLatency()
-            ? mon->accessLatency() - dir->accessLatency()
+        mons[0]->accessLatency() > dirs[0]->accessLatency()
+            ? mons[0]->accessLatency() - dirs[0]->accessLatency()
             : 0;
     eq.schedule(extra, [this, txn] { decideLookup(txn); });
 }
@@ -240,7 +302,8 @@ Pmu::decideLookup(std::uint32_t txn)
 {
     PeiTxn &t = txns[txn];
     const Addr block = t.pkt.paddr >> block_shift;
-    const bool high_locality = mon->lookupForPei(block);
+    const bool high_locality =
+        monFor(block).lookupForPei(bankBlock(block));
     if (!mem.supportsPim()) {
         // The monitor still profiles, but there is nowhere to
         // offload to: degrade to host-side execution.
@@ -363,7 +426,7 @@ Pmu::memExecute(std::uint32_t txn)
     PeiTxn &t = txns[txn];
     const Addr block = t.pkt.paddr >> block_shift;
     if (cfg.mode == ExecMode::LocalityAware)
-        mon->onPimIssue(block);
+        monFor(block).onPimIssue(bankBlock(block));
     if (t.pkt.is_writer)
         ++stat_peis_mem_writers;
     else
@@ -424,7 +487,8 @@ Pmu::finish(std::uint32_t txn, bool executed_at_host)
     // Releasing the directory entry also retires the writer that
     // executePei registered, waking pfence waiters when it was the
     // last one in flight.
-    dir->release(t.pkt.paddr >> block_shift, t.pkt.is_writer);
+    const Addr block = t.pkt.paddr >> block_shift;
+    dirFor(block).release(bankBlock(block), t.pkt.is_writer);
     // Host-side execution held a host-PCU operand buffer entry;
     // memory-side execution used the vault PCU's buffer instead
     // (released inside MemSidePcu).
@@ -450,7 +514,24 @@ Pmu::pfence(Callback done)
     // closes its open speculation batch so the fence's ordering
     // guarantee extends to its commit.
     coh->onFence();
-    dir->pfence(std::move(done));
+    if (dirs.size() == 1) {
+        dirs[0]->pfence(std::move(done));
+        return;
+    }
+    // Sharded PMU: the fence fans out to every directory bank and
+    // completes only when the last bank reports its writers drained.
+    const std::uint32_t join = pfence_joins.emplace(PfenceJoin{
+        static_cast<unsigned>(dirs.size()), std::move(done)});
+    for (auto &d : dirs) {
+        d->pfence(Callback([this, join] {
+            PfenceJoin &j = pfence_joins[join];
+            if (--j.remaining > 0)
+                return;
+            Callback cb = std::move(j.done);
+            pfence_joins.erase(join);
+            cb();
+        }));
+    }
 }
 
 } // namespace pei

@@ -40,6 +40,15 @@ systemConfigJson(const SystemConfig &cfg)
     // records of pre-existing hmc configurations stay byte-identical.
     if (cfg.mem_backend != "hmc")
         os << ",\"mem_backend\":\"" << jsonEscape(cfg.mem_backend) << "\"";
+    // Same rule for the interconnect topology and PMU sharding: the
+    // defaults (chain, 1 bank) predate the fields, so emitting them
+    // only off-default keeps earlier records byte-identical.
+    if (cfg.hmc.topology != Topology::Chain) {
+        os << ",\"topology\":\"" << topologyName(cfg.hmc.topology)
+           << "\"";
+    }
+    if (cfg.pim.pmu_shards > 1)
+        os << ",\"pmu_shards\":" << cfg.pim.pmu_shards;
     os << ",\"hmc_cubes\":" << cfg.hmc.num_cubes
        << ",\"vaults_per_cube\":" << cfg.hmc.vaults_per_cube
        << ",\"directory_entries\":" << cfg.pim.directory_entries

@@ -141,6 +141,9 @@ TEST(FuzzReplay, FileRoundTrips)
     id.thread_mask = 0x15;
     id.backend = "ddr";
     id.coherence = "lazy";
+    id.topology = "mesh";
+    id.cubes = 8;
+    id.pmu_shards = 4;
     FuzzOptions opt;
     opt.master_seed = 999;
     opt.num_configs = 5;
@@ -156,6 +159,9 @@ TEST(FuzzReplay, FileRoundTrips)
     EXPECT_EQ(id2.thread_mask, id.thread_mask);
     EXPECT_EQ(id2.backend, id.backend);
     EXPECT_EQ(id2.coherence, id.coherence);
+    EXPECT_EQ(id2.topology, id.topology);
+    EXPECT_EQ(id2.cubes, id.cubes);
+    EXPECT_EQ(id2.pmu_shards, id.pmu_shards);
     EXPECT_EQ(opt2.master_seed, opt.master_seed);
     EXPECT_EQ(opt2.num_configs, opt.num_configs);
     EXPECT_EQ(opt2.probe_every, opt.probe_every);
@@ -182,10 +188,10 @@ TEST(FuzzSmoke, HundredCasesAcrossConfigsAndModesAreClean)
 
 /**
  * Checker self-test: with @p bug injected, some case among the first
- * 200 must fail, and shrinking must reduce it to <= 32 ops.
+ * 200 must fail, and shrinking must reduce it to <= @p max_ops ops.
  */
 void
-expectInjectionCaughtAndShrunk(InjectBug bug)
+expectInjectionCaughtAndShrunk(InjectBug bug, unsigned max_ops = 32)
 {
     FuzzOptions opt;
     opt.inject = bug;
@@ -199,7 +205,7 @@ expectInjectionCaughtAndShrunk(InjectBug bug)
         const FuzzCaseResult min = shrinkCase(id, opt);
         ASSERT_FALSE(min.ok())
             << "failure did not reproduce while shrinking";
-        EXPECT_LE(min.total_ops, 32u) << min.summary();
+        EXPECT_LE(min.total_ops, max_ops) << min.summary();
         SUCCEED() << "caught by case " << i << ": " << min.summary();
         return;
     }
@@ -225,7 +231,10 @@ TEST(FuzzSelfTest, CatchesSkippedBackInvalidation)
 // shrinks to a minimal conflicting program.
 TEST(FuzzSelfTest, CatchesSkippedConflictCheck)
 {
-    expectInjectionCaughtAndShrunk(InjectBug::SkipConflictCheck);
+    // The first failing case draws a multi-cube geometry whose racing
+    // batch needs a longer host/kernel overlap to conflict, so the
+    // minimal reproducer is larger than the single-cube injections'.
+    expectInjectionCaughtAndShrunk(InjectBug::SkipConflictCheck, 64);
 }
 
 // The smoke above fuzzes the policy per config; this leg pins every

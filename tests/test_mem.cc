@@ -248,8 +248,8 @@ TEST_F(HmcFixture, ReadCostsOneRequestFiveResponseFlits)
     hmc->readBlock(0x1000, [&done] { done = true; });
     while (eq.runOne()) {}
     EXPECT_TRUE(done);
-    EXPECT_EQ(stats.get("link.req.flits"), 1u);  // 16 B request
-    EXPECT_EQ(stats.get("link.res.flits"), 5u);  // 80 B response
+    EXPECT_EQ(stats.get("link0.flits"), 1u);  // 16 B request
+    EXPECT_EQ(stats.get("link1.flits"), 5u);  // 80 B response
 }
 
 TEST_F(HmcFixture, WriteCostsFiveRequestFlitsNoResponse)
@@ -258,8 +258,8 @@ TEST_F(HmcFixture, WriteCostsFiveRequestFlitsNoResponse)
     hmc->writeBlock(0x1000, [&done] { done = true; });
     while (eq.runOne()) {}
     EXPECT_TRUE(done);
-    EXPECT_EQ(stats.get("link.req.flits"), 5u); // 80 B request
-    EXPECT_EQ(stats.get("link.res.flits"), 0u); // posted
+    EXPECT_EQ(stats.get("link0.flits"), 5u); // 80 B request
+    EXPECT_EQ(stats.get("link1.flits"), 0u); // posted
 }
 
 TEST_F(HmcFixture, LinkSerializationBoundsThroughput)
@@ -322,7 +322,7 @@ TEST_F(HmcFixture, WriterPeiAckConsumesNoResponseBandwidth)
     hmc->sendPim(pkt, [&done](PimPacket) { done = true; });
     while (eq.runOne()) {}
     EXPECT_TRUE(done);
-    EXPECT_EQ(stats.get("link.res.flits"), 0u);
+    EXPECT_EQ(stats.get("link1.flits"), 0u);
 }
 
 TEST(EmaCounter, HalvesEveryPeriod)

@@ -20,8 +20,8 @@ root="${1:-$(dirname "$0")/..}"
 cd "$root"
 
 status=0
-for dir in src/sim src/cache src/mem src/pim src/coherence src/energy \
-           src/check src/serve; do
+for dir in src/sim src/cache src/mem src/net src/pim src/coherence \
+           src/energy src/check src/serve; do
     # `grep -n` per file keeps the output clickable; a match is only
     # a violation when neither its own line nor the preceding line
     # carries the stdfunction-allowed tag.
