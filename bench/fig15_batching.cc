@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Batched-dispatch study (beyond the paper's per-operation PEI
+ * dispatch): Average Teenage Follower under PIM-Only as the PMU batching window
+ * (`--pei-batch`) and the memory-side PCU issue-queue depth
+ * (`--queue-depth`) grow.
+ *
+ * Every memory-bound PEI normally crosses the off-chip link as its
+ * own request packet (head flit + operand flits).  The batching
+ * window coalesces same-vault PEIs into packet trains that share one
+ * header and one coherence action, so the request-side flit count
+ * drops as the batch limit rises — the effect this bench quantifies.
+ *
+ * Besides the table, the bench writes BENCH_batching.json (default at
+ * the repo root; --batching-json overrides) with every point's
+ * throughput, train, and flit figures in submission order —
+ * byte-identical for any --jobs.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+
+using namespace pei;
+using peibench::RunHandle;
+using peibench::result;
+using peibench::submitWorkload;
+
+namespace
+{
+
+std::uint64_t
+stat(const RunResult &r, const char *name)
+{
+    const auto it = r.stats.find(name);
+    return it == r.stats.end() ? 0 : it->second;
+}
+
+/** Sum of every physical "link<N>.flits" counter in @p r. */
+std::uint64_t
+linkFlits(const RunResult &r)
+{
+    std::uint64_t flits = 0;
+    for (const auto &[name, value] : r.stats) {
+        const char *const sfx = ".flits";
+        if (name.rfind("link", 0) != 0)
+            continue;
+        if (name.size() <= 4 + std::strlen(sfx) ||
+            name.compare(name.size() - std::strlen(sfx),
+                         std::strlen(sfx), sfx) != 0) {
+            continue;
+        }
+        const std::string digits =
+            name.substr(4, name.size() - 4 - std::strlen(sfx));
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+            continue;
+        }
+        flits += value;
+    }
+    return flits;
+}
+
+double
+peisPerSecond(const RunResult &r)
+{
+    return r.ticks ? static_cast<double>(stat(r, "pmu.peis_issued")) *
+                         static_cast<double>(ticks_per_second) /
+                         static_cast<double>(r.ticks)
+                   : 0.0;
+}
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+std::string
+pointJson(unsigned batch, unsigned qd, const RunResult &r,
+          std::uint64_t base_link_flits)
+{
+    const std::uint64_t flits = linkFlits(r);
+    std::string s = "{\"batch\":" + std::to_string(batch);
+    s += ",\"queue_depth\":" + std::to_string(qd);
+    s += ",\"ticks\":" + std::to_string(r.ticks);
+    s += ",\"peis\":" + std::to_string(stat(r, "pmu.peis_issued"));
+    s += ",\"peis_per_s\":" + fmt("%.0f", peisPerSecond(r));
+    s += ",\"trains\":" + std::to_string(stat(r, "pmu.pei_trains"));
+    s += ",\"batched_peis\":" +
+         std::to_string(stat(r, "pmu.batched_peis"));
+    s += ",\"req_flits\":" + std::to_string(stat(r, "net.req.flits"));
+    s += ",\"link_flits\":" + std::to_string(flits);
+    s += ",\"link_flit_reduction\":" +
+         fmt("%.3f", base_link_flits
+                         ? 1.0 - static_cast<double>(flits) /
+                                     static_cast<double>(base_link_flits)
+                         : 0.0);
+    s += "}";
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    peibench::benchInit(argc, argv, "fig15_batching");
+
+    std::string batching_json = PEISIM_ROOT "/BENCH_batching.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--batching-json") == 0 && i + 1 < argc)
+            batching_json = argv[++i];
+        else if (std::strncmp(argv[i], "--batching-json=", 16) == 0)
+            batching_json = argv[i] + 16;
+    }
+
+    std::printf("==================================================="
+                "===========================\n");
+    std::printf("Batched dispatch study — ATF (PIM-Only) across "
+                "PMU batch limit x PCU queue depth\n");
+    std::printf("Extension: per-op dispatch sends one request packet "
+                "per PEI; the batching window\n");
+    std::printf("coalesces same-vault PEIs into trains sharing one "
+                "header flit and one coherence act\n");
+    std::printf("Config: SystemConfig::scaled() base; --pei-batch and "
+                "--queue-depth swept below\n");
+    std::printf("==================================================="
+                "===========================\n");
+
+    const unsigned batches[] = {1, 4, 8};
+    const unsigned queue_depths[] = {0, 8};
+
+    struct Point
+    {
+        unsigned batch;
+        unsigned qd;
+        RunHandle run;
+    };
+    std::vector<Point> points;
+    for (const unsigned batch : batches) {
+        for (const unsigned qd : queue_depths) {
+            const auto tweak = [batch, qd](SystemConfig &cfg) {
+                cfg.pim.pei_batch = batch;
+                cfg.pim.pcu.issue_queue_depth = qd;
+            };
+            // PIM-Only sends every PEI to the memory side, so the
+            // window sees the densest same-vault arrival stream the
+            // workload can produce — the regime batching targets.
+            const auto factory = [] {
+                return makeWorkload(WorkloadKind::ATF, InputSize::Medium);
+            };
+            const std::string label = "atf/batch" + std::to_string(batch) +
+                                      "/qd" + std::to_string(qd);
+            points.push_back(
+                {batch, qd,
+                 submitWorkload(factory, label, ExecMode::PimOnly,
+                                tweak)});
+        }
+    }
+    peibench::sweepRun();
+
+    // The batch=1/qd=0 point is the per-op dispatch baseline every
+    // reduction figure is computed against.
+    std::uint64_t base_link_flits = 0;
+    for (const Point &p : points) {
+        if (p.batch == 1 && p.qd == 0 && result(p.run).ok())
+            base_link_flits = linkFlits(result(p.run));
+    }
+
+    std::printf("\n%5s %3s %14s %12s %8s %8s %10s %10s %7s\n", "batch",
+                "qd", "ticks", "PEIs/s", "trains", "batched",
+                "req flits", "link flits", "reduc");
+    for (const Point &p : points) {
+        if (!peibench::allOk({p.run}))
+            continue;
+        const RunResult &r = result(p.run);
+        const std::uint64_t flits = linkFlits(r);
+        std::printf(
+            "%5u %3u %14llu %12.3e %8llu %8llu %10llu %10llu %6.1f%%\n",
+            p.batch, p.qd, static_cast<unsigned long long>(r.ticks),
+            peisPerSecond(r),
+            static_cast<unsigned long long>(stat(r, "pmu.pei_trains")),
+            static_cast<unsigned long long>(stat(r, "pmu.batched_peis")),
+            static_cast<unsigned long long>(stat(r, "net.req.flits")),
+            static_cast<unsigned long long>(flits),
+            base_link_flits
+                ? 100.0 * (1.0 - static_cast<double>(flits) /
+                                     static_cast<double>(base_link_flits))
+                : 0.0);
+    }
+
+    // The committed baseline: every point in submission order.
+    // --filter'ed (skipped) points are omitted; a failed point
+    // suppresses the write so a broken sweep can never silently
+    // refresh the baseline.
+    bool all_ok = true;
+    std::string doc = "{\"bench\":\"fig15_batching\",\"points\":[";
+    for (const Point &p : points) {
+        const RunResult &r = result(p.run);
+        if (r.status == JobStatus::Skipped)
+            continue;
+        if (!r.ok()) {
+            all_ok = false;
+            continue;
+        }
+        if (doc.back() != '[')
+            doc += ",";
+        doc += "\n" + pointJson(p.batch, p.qd, r, base_link_flits);
+    }
+    doc += "\n]}\n";
+    // Operational note -> stderr: stdout stays byte-identical even
+    // when the destination path differs between runs.
+    if (all_ok) {
+        std::ofstream out(batching_json, std::ios::trunc);
+        out << doc;
+        std::fprintf(stderr, "Batching baseline written to %s\n",
+                     batching_json.c_str());
+    } else {
+        std::fprintf(stderr,
+                     "Batching baseline NOT written (failed points).\n");
+    }
+    return peibench::benchFinish();
+}

@@ -81,6 +81,12 @@ submitJob(const std::string &label, SimJob &&sim)
         sim.cubes = sweep_opts.cubes;
     if (!sim.pmu_shards)
         sim.pmu_shards = sweep_opts.pmu_shards;
+    if (!sim.pei_batch)
+        sim.pei_batch = sweep_opts.pei_batch;
+    if (!sim.batch_window_ticks)
+        sim.batch_window_ticks = sweep_opts.batch_window_ticks;
+    if (!sim.queue_depth)
+        sim.queue_depth = sweep_opts.queue_depth;
     return sweep.add(label, [sim = std::move(sim)](JobCtx &ctx) {
         const std::size_t idx = ctx.index();
         results[idx] = runSimJob(sim, ctx);

@@ -83,6 +83,20 @@ show(const char *title, const SystemConfig &cfg)
                     "directory+monitor bank pairs\n",
                     cfg.pim.pmu_shards);
     }
+    // Off-default only: the unbatched table stays byte-identical.
+    if (cfg.pim.pei_batch > 1) {
+        std::printf("PEI batching     : per-vault windows, up to %u "
+                    "PEIs/train, %llu-tick flush timeout\n",
+                    cfg.pim.pei_batch,
+                    (unsigned long long)(cfg.pim.batch_window_ticks
+                                             ? cfg.pim.batch_window_ticks
+                                             : 256));
+    }
+    if (cfg.pim.pcu.issue_queue_depth > 0) {
+        std::printf("PCU issue queues : %u-entry bounded decode queue "
+                    "per memory PCU, 1 decode/PCU clock\n",
+                    cfg.pim.pcu.issue_queue_depth);
+    }
     std::printf("Locality monitor : mirrors L3 tag array (%llu sets x "
                 "%u ways), %u-bit partial tags, %llu-cycle access\n\n",
                 (unsigned long long)(cfg.cache.l3_bytes / 64 /
@@ -100,7 +114,8 @@ main(int argc, char **argv)
     peibench::printHeader("Table 2", "Baseline Simulation Configuration",
                           "16 OoO cores, 32 KB/256 KB/16 MB caches, "
                           "8 HMCs (32 GB), 80 GB/s full-duplex chain");
-    // --topology / --cubes / --pmu-shards preview the table of a
+    // --topology / --cubes / --pmu-shards / --pei-batch /
+    // --batch-window-ticks / --queue-depth preview the table of a
     // swept configuration (the plain table is byte-identical).
     const SweepOptions &sopt = peibench::sweepOptions();
     const auto apply = [&sopt](SystemConfig cfg) {
@@ -113,6 +128,12 @@ main(int argc, char **argv)
             cfg.hmc.num_cubes = sopt.cubes;
         if (sopt.pmu_shards)
             cfg.pim.pmu_shards = sopt.pmu_shards;
+        if (sopt.pei_batch)
+            cfg.pim.pei_batch = sopt.pei_batch;
+        if (sopt.batch_window_ticks)
+            cfg.pim.batch_window_ticks = sopt.batch_window_ticks;
+        if (sopt.queue_depth)
+            cfg.pim.pcu.issue_queue_depth = sopt.queue_depth;
         return cfg;
     };
     show("paperBaseline() — Table 2 as published",

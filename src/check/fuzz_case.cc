@@ -102,6 +102,17 @@ fuzzConfig(unsigned config_index, std::uint64_t master_seed, ExecMode mode)
     cfg.hmc.num_cubes = cube_counts[rng.below(3)];
     const unsigned bank_counts[] = {1, 2, 4};
     cfg.pim.pmu_shards = bank_counts[rng.below(3)];
+
+    // Batched-dispatch draws appended last (same replay-stability
+    // rule): PMU window size and vault-PCU issue-queue depth.
+    // Window 1 / depth 0 keep the per-op dispatch path dominant in
+    // the rotation; short window timeouts crank up flush pressure.
+    const unsigned batches[] = {1, 4, 8};
+    cfg.pim.pei_batch = batches[rng.below(3)];
+    const unsigned depths[] = {0, 4, 8};
+    cfg.pim.pcu.issue_queue_depth = depths[rng.below(3)];
+    if (cfg.pim.pei_batch > 1)
+        cfg.pim.batch_window_ticks = rng.chance(0.5) ? 64 : 256;
     return cfg;
 }
 
@@ -214,6 +225,18 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
         cfg.pim.pmu_shards = opt.pmu_shards;
     if (id.pmu_shards)
         cfg.pim.pmu_shards = id.pmu_shards;
+    if (opt.pei_batch)
+        cfg.pim.pei_batch = opt.pei_batch;
+    if (id.pei_batch)
+        cfg.pim.pei_batch = id.pei_batch;
+    if (opt.queue_depth >= 0) {
+        cfg.pim.pcu.issue_queue_depth =
+            static_cast<unsigned>(opt.queue_depth);
+    }
+    if (id.queue_depth >= 0) {
+        cfg.pim.pcu.issue_queue_depth =
+            static_cast<unsigned>(id.queue_depth);
+    }
     cfg.shards = opt.shards;
     System sys(cfg);
     std::optional<WatchGuard> guard;
@@ -340,11 +363,15 @@ runOneMode(const FuzzProgram &prog, const GoldenResult &golden,
                             std::to_string(sys.pmu().peisMem()) +
                             " PEI(s) in memory");
     }
+    // PIM-Only tolerates exactly the vault-spanning multi-block runs
+    // the decision stage is required to force host-side.
     if (mode == ExecMode::PimOnly && sys.mem().supportsPim() &&
-        sys.pmu().peisHost() != 0) {
+        sys.pmu().peisHost() != sys.pmu().peisSpanHost()) {
         throw FuzzViolation("mode sanity: PIM-Only executed " +
                             std::to_string(sys.pmu().peisHost()) +
-                            " PEI(s) on the host");
+                            " PEI(s) on the host, " +
+                            std::to_string(sys.pmu().peisSpanHost()) +
+                            " vault-spanning");
     }
 
     // Differential check 1: final footprint bytes.
@@ -400,6 +427,10 @@ FuzzCaseResult::summary() const
         os << " cubes=" << id.cubes;
     if (id.pmu_shards > 1)
         os << " pmu_shards=" << id.pmu_shards;
+    if (id.pei_batch > 1)
+        os << " pei_batch=" << id.pei_batch;
+    if (id.queue_depth > 0)
+        os << " queue_depth=" << id.queue_depth;
     if (id.prefix != full_prefix)
         os << " prefix=" << id.prefix;
     if (id.thread_mask != 0xffffffffu)
@@ -453,6 +484,16 @@ runFuzzCase(const FuzzCaseId &id, const FuzzOptions &opt, JobCtx *ctx)
         if (!res.id.pmu_shards) {
             res.id.pmu_shards =
                 opt.pmu_shards ? opt.pmu_shards : drawn.pim.pmu_shards;
+        }
+        if (!res.id.pei_batch) {
+            res.id.pei_batch =
+                opt.pei_batch ? opt.pei_batch : drawn.pim.pei_batch;
+        }
+        if (res.id.queue_depth < 0) {
+            res.id.queue_depth =
+                opt.queue_depth >= 0
+                    ? opt.queue_depth
+                    : static_cast<int>(drawn.pim.pcu.issue_queue_depth);
         }
     }
 
@@ -581,6 +622,10 @@ replayFileContents(const FuzzCaseId &id, const FuzzOptions &opt)
         os << "cubes=" << id.cubes << "\n";
     if (id.pmu_shards)
         os << "pmu_shards=" << id.pmu_shards << "\n";
+    if (id.pei_batch)
+        os << "pei_batch=" << id.pei_batch << "\n";
+    if (id.queue_depth >= 0)
+        os << "queue_depth=" << id.queue_depth << "\n";
     return os.str();
 }
 
@@ -646,6 +691,12 @@ parseReplayFile(const std::string &text, FuzzCaseId &id, FuzzOptions &opt)
             } else if (key == "pmu_shards") {
                 id.pmu_shards =
                     static_cast<unsigned>(std::stoul(value, nullptr, 0));
+            } else if (key == "pei_batch") {
+                id.pei_batch =
+                    static_cast<unsigned>(std::stoul(value, nullptr, 0));
+            } else if (key == "queue_depth") {
+                id.queue_depth =
+                    static_cast<int>(std::stol(value, nullptr, 0));
             } else {
                 return false;
             }
@@ -676,6 +727,10 @@ replayCommand(const FuzzCaseId &id, const FuzzOptions &opt)
         os << " --replay-cubes " << id.cubes;
     if (id.pmu_shards)
         os << " --replay-pmu-shards " << id.pmu_shards;
+    if (id.pei_batch)
+        os << " --replay-batch " << id.pei_batch;
+    if (id.queue_depth >= 0)
+        os << " --replay-queue-depth " << id.queue_depth;
     os << " --master-seed " << opt.master_seed << " --configs "
        << opt.num_configs;
     if (opt.inject != InjectBug::None)

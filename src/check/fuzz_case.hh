@@ -55,6 +55,10 @@ struct FuzzCaseId
     unsigned cubes = 0;
     /** Address-partitioned PMU banks; 0 = unpinned. */
     unsigned pmu_shards = 0;
+    /** PMU batching window size; 0 = unpinned (1 = per-op). */
+    unsigned pei_batch = 0;
+    /** Vault-PCU issue-queue depth; -1 = unpinned (0 = unqueued). */
+    int queue_depth = -1;
 };
 
 /** Hidden fault injections validating the checker itself. */
@@ -87,6 +91,10 @@ struct FuzzOptions
     unsigned cubes = 0;
     /** Force a PMU bank count; 0 = fuzzed per config. */
     unsigned pmu_shards = 0;
+    /** Force a PMU batching window size; 0 = fuzzed per config. */
+    unsigned pei_batch = 0;
+    /** Force a vault-PCU queue depth; -1 = fuzzed per config. */
+    int queue_depth = -1;
     /**
      * Event-queue shards per simulated System (`--shards`).  1 = the
      * sequential engine; N > 1 runs every mode of every case on the

@@ -65,11 +65,16 @@ usage(const char *argv0)
         "  --cubes N            pin the cube count (default: fuzzed)\n"
         "  --pmu-shards N       pin the PMU bank count (default: "
         "fuzzed)\n"
+        "  --pei-batch N        pin the PMU batching window size\n"
+        "                       (1 = per-op dispatch; default: fuzzed)\n"
+        "  --queue-depth N      pin the vault-PCU issue-queue depth\n"
+        "                       (0 = unqueued; default: fuzzed)\n"
         "  --replay-seed S      replay one case (with --replay-config,\n"
         "                       --replay-prefix, --replay-mask,\n"
         "                       --replay-backend, --replay-coherence,\n"
         "                       --replay-topology, --replay-cubes,\n"
-        "                       --replay-pmu-shards)\n"
+        "                       --replay-pmu-shards, --replay-batch,\n"
+        "                       --replay-queue-depth)\n"
         "  --replay-file FILE   replay a written reproducer\n"
         "  --jobs N / --timeout-s S / --no-progress  (sweep driver)\n",
         argv0);
@@ -127,6 +132,10 @@ replayOne(const FuzzCaseId &id, const FuzzOptions &opt)
         std::printf(" cubes=%u", id.cubes);
     if (id.pmu_shards)
         std::printf(" pmu_shards=%u", id.pmu_shards);
+    if (id.pei_batch)
+        std::printf(" pei_batch=%u", id.pei_batch);
+    if (id.queue_depth >= 0)
+        std::printf(" queue_depth=%d", id.queue_depth);
     if (id.prefix != full_prefix)
         std::printf(" prefix=%zu", id.prefix);
     if (id.thread_mask != 0xffffffffu)
@@ -192,6 +201,12 @@ main(int argc, char **argv)
     if (const auto v = flagValue(argc, argv, "--pmu-shards"))
         fopt.pmu_shards =
             static_cast<unsigned>(parseU64(*v, "--pmu-shards"));
+    if (const auto v = flagValue(argc, argv, "--pei-batch"))
+        fopt.pei_batch =
+            static_cast<unsigned>(parseU64(*v, "--pei-batch"));
+    if (const auto v = flagValue(argc, argv, "--queue-depth"))
+        fopt.queue_depth =
+            static_cast<int>(parseU64(*v, "--queue-depth"));
     if (const auto v = flagValue(argc, argv, "--inject-bug")) {
         if (*v == "skip-unlock") {
             fopt.inject = InjectBug::SkipUnlock;
@@ -252,6 +267,13 @@ main(int argc, char **argv)
         if (const auto v = flagValue(argc, argv, "--replay-pmu-shards"))
             id.pmu_shards = static_cast<unsigned>(
                 parseU64(*v, "--replay-pmu-shards"));
+        if (const auto v = flagValue(argc, argv, "--replay-batch"))
+            id.pei_batch =
+                static_cast<unsigned>(parseU64(*v, "--replay-batch"));
+        if (const auto v =
+                flagValue(argc, argv, "--replay-queue-depth"))
+            id.queue_depth = static_cast<int>(
+                parseU64(*v, "--replay-queue-depth"));
         return replayOne(id, fopt);
     }
 
@@ -275,6 +297,13 @@ main(int argc, char **argv)
         net_note += ", cubes " + std::to_string(fopt.cubes);
     if (fopt.pmu_shards > 1)
         net_note += ", pmu-shards " + std::to_string(fopt.pmu_shards);
+    // Batching pins follow the same non-default-only rule: pinning
+    // --pei-batch=1 or --queue-depth=0 explicitly (the per-op
+    // defaults) must not change stdout either.
+    if (fopt.pei_batch > 1)
+        net_note += ", pei-batch " + std::to_string(fopt.pei_batch);
+    if (fopt.queue_depth > 0)
+        net_note += ", queue-depth " + std::to_string(fopt.queue_depth);
     std::printf("simfuzz: %llu case(s), %u fuzzed config(s), "
                 "master seed %llu, probe every %llu "
                 "event(s)%s%s%s%s%s%s%s\n",

@@ -31,6 +31,15 @@ EagerCoherence::EagerCoherence(CacheHierarchy &hierarchy,
 std::uint32_t
 EagerCoherence::beforeOffload(const PimPacket &pkt, Callback ready)
 {
+    if (pkt.mb_count > 1) {
+        // Multi-block (gather/scatter) packets clean every element
+        // block through the merged-action path.
+        const PimPacket *one[1] = {&pkt};
+        std::uint32_t token = 0;
+        beforeOffloadBatch(one, 1, std::move(ready), &token);
+        return token;
+    }
+
     // Off-chip cost of one eager action: a command flit out and an
     // ack flit back, plus a block of writeback data whenever the
     // action flushes a dirty copy.  dirtyIn is a pure query, so the
@@ -45,6 +54,58 @@ EagerCoherence::beforeOffload(const PimPacket &pkt, Callback ready)
     else
         hierarchy.backWriteback(pkt.paddr, std::move(ready));
     return 0;
+}
+
+void
+EagerCoherence::beforeOffloadBatch(const PimPacket *const *pkts,
+                                   unsigned n, Callback ready,
+                                   std::uint32_t *tokens)
+{
+    // Merge the train's coherence work: each distinct target block is
+    // cleaned exactly once — as a back-invalidation if any member
+    // writes it, a back-writeback otherwise.  This is where batching
+    // amortizes step ③: the eager baseline would clean a hot block
+    // once per PEI.
+    struct Action
+    {
+        Addr addr;
+        bool written;
+    };
+    std::vector<Action> acts;
+    acts.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        const PimPacket &pkt = *pkts[i];
+        tokens[i] = 0;
+        Addr blocks[max_pei_target_blocks];
+        const unsigned nb =
+            pkt.targetBlocks(blocks, max_pei_target_blocks);
+        for (unsigned b = 0; b < nb; ++b) {
+            bool seen = false;
+            for (Action &a : acts) {
+                if (a.addr == blocks[b]) {
+                    a.written = a.written || pkt.is_writer;
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen)
+                acts.push_back({blocks[b], pkt.is_writer});
+        }
+    }
+
+    CoherenceJoin *j =
+        CoherenceJoin::create(static_cast<unsigned>(acts.size()),
+                              std::move(ready));
+    for (const Action &a : acts) {
+        ++stat_actions;
+        stat_offchip_flits += 2;
+        if (hierarchy.dirtyIn(a.addr))
+            stat_offchip_flits += data_flits;
+        if (a.written)
+            hierarchy.backInvalidate(a.addr, j->arm());
+        else
+            hierarchy.backWriteback(a.addr, j->arm());
+    }
 }
 
 } // namespace pei

@@ -23,6 +23,9 @@ class EagerCoherence final : public CoherencePolicy
     const char *name() const override { return "eager"; }
     std::uint32_t beforeOffload(const PimPacket &pkt,
                                 Callback ready) override;
+    void beforeOffloadBatch(const PimPacket *const *pkts, unsigned n,
+                            Callback ready,
+                            std::uint32_t *tokens) override;
     void onRetire(std::uint32_t token) override { (void)token; }
 
   private:

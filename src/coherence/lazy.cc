@@ -108,25 +108,36 @@ LazyCoherence::closeOpenBatch()
     open_id = 0;
 }
 
+void
+LazyCoherence::addPacket(Batch &b, const PimPacket &pkt)
+{
+    // Writer PEIs are read-modify-write on their target blocks, so a
+    // written block enters both signatures (and both shadow sets).
+    // Multi-block packets enter every element block.
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = pkt.targetBlocks(blocks, max_pei_target_blocks);
+    for (unsigned i = 0; i < nb; ++i) {
+        const Addr block = blocks[i] >> block_shift;
+        b.read_sig.add(block);
+        b.exact_reads.insert(block);
+        if (pkt.is_writer) {
+            b.write_sig.add(block);
+            b.exact_writes.insert(block);
+        }
+    }
+    b.members.push_back(
+        {pkt.paddr >> block_shift,
+         static_cast<unsigned>(flits(pkt.requestBytes())),
+         static_cast<unsigned>(flits(pkt.responseBytes()))});
+    ++b.outstanding;
+}
+
 std::uint32_t
 LazyCoherence::beforeOffload(const PimPacket &pkt, Callback ready)
 {
     Batch &b = openBatch();
     const std::uint32_t id = open_id;
-    const Addr block = pkt.paddr >> block_shift;
-
-    // Writer PEIs are read-modify-write on their target block, so a
-    // written block enters both signatures (and both shadow sets).
-    b.read_sig.add(block);
-    b.exact_reads.insert(block);
-    if (pkt.is_writer) {
-        b.write_sig.add(block);
-        b.exact_writes.insert(block);
-    }
-    b.members.push_back(
-        {block, static_cast<unsigned>(flits(pkt.requestBytes())),
-         static_cast<unsigned>(flits(pkt.responseBytes()))});
-    ++b.outstanding;
+    addPacket(b, pkt);
     if (b.members.size() >= cfg.batch_peis)
         closeOpenBatch();
 
@@ -138,6 +149,39 @@ LazyCoherence::beforeOffload(const PimPacket &pkt, Callback ready)
     const Tick at = std::max(now + cfg.insert_latency, stall_until);
     eq.schedule(at - now, std::move(ready));
     return id;
+}
+
+void
+LazyCoherence::beforeOffloadBatch(const PimPacket *const *pkts,
+                                  unsigned n, Callback ready,
+                                  std::uint32_t *tokens)
+{
+    panic_if(n == 0, "lazy coherence: empty offload batch");
+
+    // Align the packet train with the speculative batch so one seam
+    // boundary serves both: a train never straddles two batches — if
+    // the open batch cannot absorb it whole, close the batch first.
+    if (open_id != 0) {
+        const Batch &open = batches.at(open_id);
+        if (!open.members.empty() &&
+            open.members.size() + n > cfg.batch_peis) {
+            closeOpenBatch();
+        }
+    }
+    Batch &b = openBatch();
+    const std::uint32_t id = open_id;
+    for (unsigned i = 0; i < n; ++i) {
+        addPacket(b, *pkts[i]);
+        tokens[i] = id;
+    }
+    if (b.members.size() >= cfg.batch_peis)
+        closeOpenBatch();
+
+    // One signature insert covers the whole train — a single merged
+    // update, which is precisely the dispatch cost batching removes.
+    const Tick now = eq.now();
+    const Tick at = std::max(now + cfg.insert_latency, stall_until);
+    eq.schedule(at - now, std::move(ready));
 }
 
 void

@@ -48,6 +48,9 @@ class LazyCoherence final : public CoherencePolicy
     bool deferred() const override { return true; }
     std::uint32_t beforeOffload(const PimPacket &pkt,
                                 Callback ready) override;
+    void beforeOffloadBatch(const PimPacket *const *pkts, unsigned n,
+                            Callback ready,
+                            std::uint32_t *tokens) override;
     void onRetire(std::uint32_t token) override;
     void onFence() override;
     std::string probeViolation() const override;
@@ -89,6 +92,10 @@ class LazyCoherence final : public CoherencePolicy
 
     /** The open batch, creating one if none is accumulating. */
     Batch &openBatch();
+
+    /** Enter @p pkt (every element block) into @p b's signatures,
+     *  shadow sets, and member list. */
+    void addPacket(Batch &b, const PimPacket &pkt);
 
     /** Close the open batch (full, fence, or quiesce). */
     void closeOpenBatch();

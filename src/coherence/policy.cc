@@ -67,6 +67,17 @@ ensureBuiltinsLocked()
 } // namespace
 
 void
+CoherencePolicy::beforeOffloadBatch(const PimPacket *const *pkts,
+                                    unsigned n, Callback ready,
+                                    std::uint32_t *tokens)
+{
+    panic_if(n == 0, "coherence: empty offload batch");
+    CoherenceJoin *j = CoherenceJoin::create(n, std::move(ready));
+    for (unsigned i = 0; i < n; ++i)
+        tokens[i] = beforeOffload(*pkts[i], j->arm());
+}
+
+void
 registerCoherencePolicy(const std::string &name, CoherenceFactory factory)
 {
     fatal_if(name.empty() || factory == nullptr,

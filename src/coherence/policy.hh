@@ -91,6 +91,20 @@ class CoherencePolicy
     virtual std::uint32_t beforeOffload(const PimPacket &pkt,
                                         Callback ready) = 0;
 
+    /**
+     * Batched variant for the PMU coalescing window: one coherence
+     * action covers the whole same-vault train.  @p ready fires once
+     * when the merged action completes; tokens[i] receives packet
+     * i's retirement token (each still retires individually through
+     * onRetire).  The default implementation fans out to per-packet
+     * beforeOffload calls joined on @p ready; policies override to
+     * genuinely merge (eager: one dedup'd back-inval/-writeback set,
+     * lazy: the train enters one speculative batch atomically).
+     */
+    virtual void beforeOffloadBatch(const PimPacket *const *pkts,
+                                    unsigned n, Callback ready,
+                                    std::uint32_t *tokens);
+
     /** The memory-side PEI identified by @p token retired. */
     virtual void onRetire(std::uint32_t token) = 0;
 
@@ -111,6 +125,37 @@ class CoherencePolicy
      * policies without a conflict check.  0 disables.
      */
     virtual void injectSkipConflictCheck(std::uint64_t) {}
+};
+
+/**
+ * Heap-allocated fan-in for merged coherence actions: create() a join
+ * for @p n sub-actions, hand each one arm(); @p done fires after the
+ * last arm completes and the join frees itself.  Each arm captures
+ * only the join pointer, so it fits any Continuation inline budget.
+ */
+struct CoherenceJoin
+{
+    unsigned remaining;
+    Continuation done;
+
+    static CoherenceJoin *
+    create(unsigned n, Continuation done)
+    {
+        return new CoherenceJoin{n, std::move(done)};
+    }
+
+    Continuation
+    arm()
+    {
+        CoherenceJoin *j = this;
+        return Continuation([j] {
+            if (--j->remaining > 0)
+                return;
+            Continuation cb = std::move(j->done);
+            delete j;
+            cb();
+        });
+    }
 };
 
 /** Factory signature for registry entries. */

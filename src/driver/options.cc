@@ -119,6 +119,30 @@ sweepOptionsFromArgs(int argc, char **argv)
                      "got '%s'",
                      value.c_str());
             opts.pmu_shards = static_cast<unsigned>(n);
+        } else if (flagValue(argc, argv, i, "--pei-batch", value)) {
+            char *end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            fatal_if(!end || *end != '\0' || n < 1 || n > 64,
+                     "--pei-batch wants an integer in [1, 64], got '%s'",
+                     value.c_str());
+            opts.pei_batch = static_cast<unsigned>(n);
+        } else if (flagValue(argc, argv, i, "--batch-window-ticks",
+                             value)) {
+            char *end = nullptr;
+            const long long n = std::strtoll(value.c_str(), &end, 10);
+            fatal_if(!end || *end != '\0' || n < 1,
+                     "--batch-window-ticks wants a positive integer, "
+                     "got '%s'",
+                     value.c_str());
+            opts.batch_window_ticks = static_cast<std::uint64_t>(n);
+        } else if (flagValue(argc, argv, i, "--queue-depth", value)) {
+            char *end = nullptr;
+            const long n = std::strtol(value.c_str(), &end, 10);
+            fatal_if(!end || *end != '\0' || n < 0,
+                     "--queue-depth wants a non-negative integer, "
+                     "got '%s'",
+                     value.c_str());
+            opts.queue_depth = static_cast<unsigned>(n);
         } else if (std::strcmp(argv[i], "--list") == 0) {
             opts.list = true;
         } else if (std::strcmp(argv[i], "--no-progress") == 0) {

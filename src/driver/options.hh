@@ -14,6 +14,9 @@
  *   --topology T    off-chip interconnect (chain | ring | mesh)
  *   --cubes N       memory cubes on the interconnect (power of two)
  *   --pmu-shards N  address-partitioned PMU banks (power of two)
+ *   --pei-batch N   PMU batching window size (1 = per-op dispatch)
+ *   --batch-window-ticks T  max ticks a non-full window waits
+ *   --queue-depth N vault-PCU issue-queue depth (0 = unqueued)
  *
  * Both "--flag value" and "--flag=value" spellings are accepted;
  * flags the sweep does not own (e.g. --stats-json) are ignored.
@@ -22,6 +25,7 @@
 #ifndef PEISIM_DRIVER_OPTIONS_HH
 #define PEISIM_DRIVER_OPTIONS_HH
 
+#include <cstdint>
 #include <string>
 
 namespace pei
@@ -44,6 +48,12 @@ struct SweepOptions
     unsigned cubes = 0;
     /** PMU banks; 0 = each job's default (1, the shared PMU). */
     unsigned pmu_shards = 0;
+    /** PMU batching window size; 0 = each job's default (1). */
+    unsigned pei_batch = 0;
+    /** Window timeout in ticks; 0 = each job's default. */
+    std::uint64_t batch_window_ticks = 0;
+    /** Vault-PCU issue-queue depth; 0 = each job's default (off). */
+    unsigned queue_depth = 0;
     bool list = false;
     bool progress = true;
 };

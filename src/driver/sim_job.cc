@@ -71,6 +71,12 @@ runSimJob(const SimJob &job, JobCtx &ctx)
         cfg.hmc.num_cubes = job.cubes;
     if (job.pmu_shards)
         cfg.pim.pmu_shards = job.pmu_shards;
+    if (job.pei_batch)
+        cfg.pim.pei_batch = job.pei_batch;
+    if (job.batch_window_ticks)
+        cfg.pim.batch_window_ticks = job.batch_window_ticks;
+    if (job.queue_depth)
+        cfg.pim.pcu.issue_queue_depth = job.queue_depth;
     if (job.tweak)
         job.tweak(cfg);
     System sys(cfg);

@@ -104,6 +104,12 @@ struct SimJob
     unsigned cubes = 0;
     /** PMU banks; 0 = the config's default (1, the shared PMU). */
     unsigned pmu_shards = 0;
+    /** PMU batching window size; 0 = the config's default (1). */
+    unsigned pei_batch = 0;
+    /** Window timeout in ticks; 0 = the config's default. */
+    std::uint64_t batch_window_ticks = 0;
+    /** Vault-PCU issue-queue depth; 0 = the config's default (off). */
+    unsigned queue_depth = 0;
     ConfigTweak tweak;
     unsigned threads = 0;  ///< 0 = one coroutine per core
 

@@ -111,6 +111,20 @@ class MemoryBackend
      */
     virtual void sendPim(PimPacket pkt, PimHandler::Respond cb) = 0;
 
+    /**
+     * Dispatch a coalesced same-unit train of @p n PIM operations
+     * (PMU batching window).  cbs[i] receives packet i's completion.
+     * The default degrades to n individual sendPim dispatches;
+     * packetized backends override to share one request/response
+     * packet per train (header flits amortized).
+     */
+    virtual void
+    sendPimTrain(PimPacket *pkts, unsigned n, PimHandler::Respond *cbs)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            sendPim(std::move(pkts[i]), std::move(cbs[i]));
+    }
+
     // --- address decomposition -----------------------------------
 
     virtual const AddrMap &addrMap() const = 0;

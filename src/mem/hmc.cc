@@ -169,6 +169,103 @@ HmcBackend::sendPim(PimPacket pkt, PimHandler::Respond cb)
 }
 
 void
+HmcBackend::sendPimTrain(PimPacket *pkts, unsigned n,
+                         PimHandler::Respond *cbs)
+{
+    panic_if(n == 0, "empty PIM train");
+    if (n == 1) {
+        // A window that drained with one PEI dispatches exactly like
+        // an unbatched op (no header to amortize).
+        sendPim(std::move(pkts[0]), std::move(cbs[0]));
+        return;
+    }
+
+    stat_pim_ops += n;
+    const MemLoc loc = map.decode(pkts[0].paddr);
+    PimHandler *handler = pim_handlers[loc.globalVault];
+    panic_if(handler == nullptr,
+             "PIM train sent to vault %u with no PCU attached",
+             loc.globalVault);
+
+    // One compound train header, one 4-byte sub-header + input
+    // operands per member — the per-op 8-byte headers collapse.
+    unsigned bytes = 8;
+    for (unsigned i = 0; i < n; ++i) {
+        panic_if(map.decode(pkts[i].paddr).globalVault != loc.globalVault,
+                 "PIM train mixes vaults (%u vs %u)",
+                 map.decode(pkts[i].paddr).globalVault, loc.globalVault);
+        bytes += 4 + pkts[i].input_size;
+    }
+    ema_req.add(flitsOf(bytes), eq.now());
+    const Tick issued = eq.now();
+    const Tick arrive = net.sendRequestTrain(bytes, n, loc.cube);
+
+    const std::uint32_t txn =
+        train_txns.emplace(TrainTxn{loc, issued, n, n, 0, {}, {}});
+    // Stable slot address captured host-side (see sendPim).
+    TrainTxn *p = &train_txns[txn];
+    p->self = txn;
+    p->pkts.reserve(n);
+    p->cbs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        p->pkts.push_back(std::move(pkts[i]));
+        p->cbs.push_back(std::move(cbs[i]));
+    }
+    const unsigned gv = loc.globalVault;
+    sq.scheduleOn(sq.shardFor(gv), arrive, [this, p, gv] {
+        for (unsigned i = 0; i < p->n; ++i) {
+            pim_handlers[gv]->handle(
+                std::move(p->pkts[i]), [this, p, i](PimPacket done) {
+                    p->pkts[i] = std::move(done);
+                    const std::uint32_t txn = p->self;
+                    completeOnHost([this, txn] { trainMemberDone(txn); });
+                });
+        }
+    });
+}
+
+void
+HmcBackend::trainMemberDone(std::uint32_t txn)
+{
+    TrainTxn &t = train_txns[txn];
+    panic_if(t.remaining == 0, "PIM train over-completed");
+    if (--t.remaining > 0)
+        return;
+
+    // All members responded: merge the outputs into one response
+    // train (or a posted ack when nothing carries output) and retire
+    // every member at the train's arrival back at the host.
+    unsigned bytes = 0;
+    for (const PimPacket &pkt : t.pkts) {
+        if (pkt.responseBytes() > 0)
+            bytes += 4 + pkt.output_size;
+    }
+    Tick back;
+    if (bytes > 0) {
+        bytes += 16;
+        ema_res.add(flitsOf(bytes), eq.now());
+        back = net.sendResponseTrain(bytes, t.n, t.loc.cube);
+    } else {
+        back = eq.now() + net.ackLatency(t.loc.cube);
+    }
+    for (unsigned i = 0; i < t.n; ++i)
+        hist_pim_roundtrip_ticks.record(back - t.issued);
+    eq.scheduleAt(back, [this, txn] { trainRespond(txn); });
+}
+
+void
+HmcBackend::trainRespond(std::uint32_t txn)
+{
+    TrainTxn &t = train_txns[txn];
+    std::vector<PimPacket> pkts = std::move(t.pkts);
+    std::vector<PimHandler::Respond> cbs = std::move(t.cbs);
+    const unsigned n = t.n;
+    train_txns.erase(txn);
+    for (unsigned i = 0; i < n; ++i)
+        cbs[i](std::move(pkts[i]));
+}
+
+void
 HmcBackend::pimDone(std::uint32_t txn)
 {
     PimTxn &t = pim_txns[txn];

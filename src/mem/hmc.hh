@@ -148,6 +148,19 @@ class HmcBackend : public MemoryBackend
      */
     void sendPim(PimPacket pkt, PimHandler::Respond cb) override;
 
+    /**
+     * Dispatch a coalesced same-vault PEI train: one compound request
+     * packet (8 B train header + 4 B sub-header + input operands per
+     * member) rides the request link, members execute at the vault
+     * PCU individually, and the completions merge into one response
+     * train (16 B header + 4 B sub-header + output operands per
+     * output-bearing member) or a posted ack when no member carries
+     * output.  Counted as n ops in hmc.pim_ops with n round trips, so
+     * the existing conservation invariant covers trains too.
+     */
+    void sendPimTrain(PimPacket *pkts, unsigned n,
+                      PimHandler::Respond *cbs) override;
+
     /** Register the memory-side PCU serving @p global_vault. */
     void attachPimHandler(unsigned global_vault,
                           PimHandler *handler) override;
@@ -232,6 +245,20 @@ class HmcBackend : public MemoryBackend
         PimHandler::Respond cb;
     };
 
+    struct TrainTxn
+    {
+        MemLoc loc;
+        Tick issued;
+        unsigned n = 0;
+        unsigned remaining = 0;
+        /** Own pool handle: member-completion closures carry only the
+         *  stable slot pointer (the handle would pad them past the
+         *  Respond inline budget) and read it back from here. */
+        std::uint32_t self = 0;
+        std::vector<PimPacket> pkts; ///< requests; reused for responses
+        std::vector<PimHandler::Respond> cbs;
+    };
+
     unsigned flitsOf(unsigned bytes) const;
 
     // Host-shard stage handlers (one per latency edge of the old
@@ -243,6 +270,8 @@ class HmcBackend : public MemoryBackend
     void writeDone(std::uint32_t txn);
     void pimDone(std::uint32_t txn);
     void pimRespond(std::uint32_t txn);
+    void trainMemberDone(std::uint32_t txn);
+    void trainRespond(std::uint32_t txn);
 
     /**
      * Run @p fn on the host shard at the calling vault shard's
@@ -273,6 +302,7 @@ class HmcBackend : public MemoryBackend
     SlotPool<ReadTxn> read_txns;
     SlotPool<WriteTxn> write_txns;
     SlotPool<PimTxn> pim_txns;
+    SlotPool<TrainTxn> train_txns;
 
     Counter stat_reads;
     Counter stat_writes;

@@ -104,6 +104,21 @@ Interconnect::Interconnect(EventQueue &eq, const NetConfig &cfg,
     stats.add("net.res.bytes", &stat_res_bytes);
     stats.add("net.req_hops", &stat_req_hops);
     stats.add("net.res_hops", &stat_res_hops);
+    stats.add("net.trains.req", &stat_train_req);
+    stats.add("net.trains.res", &stat_train_res);
+    stats.add("net.trains.peis", &stat_train_peis);
+    // Train conservation: a train carries at least two PEIs (window
+    // singletons dispatch as plain packets), so the PEI total must
+    // dominate the train count.
+    stats.addInvariant(
+        "net.trains.peis >= 2 * net.trains.req",
+        [this] {
+            if (stat_train_peis.value() >= 2 * stat_train_req.value())
+                return std::string();
+            return "train peis=" + std::to_string(stat_train_peis.value()) +
+                   " < 2 * trains=" +
+                   std::to_string(stat_train_req.value());
+        });
     // Flit conservation: every flit a packet injects is charged to
     // exactly the links its static route crosses — a mismatch means a
     // route double-charged or skipped a link.
@@ -298,6 +313,24 @@ Interconnect::sendResponse(unsigned bytes, unsigned cube)
     stat_res_bytes += flits * cfg.flit_bytes;
     stat_res_hops += route.hops;
     return send(route, bytes);
+}
+
+Tick
+Interconnect::sendRequestTrain(unsigned bytes, unsigned peis,
+                               unsigned cube)
+{
+    ++stat_train_req;
+    stat_train_peis += peis;
+    return sendRequest(bytes, cube);
+}
+
+Tick
+Interconnect::sendResponseTrain(unsigned bytes, unsigned peis,
+                                unsigned cube)
+{
+    (void)peis;
+    ++stat_train_res;
+    return sendResponse(bytes, cube);
 }
 
 Ticks

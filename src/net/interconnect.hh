@@ -95,6 +95,17 @@ class Interconnect
     Tick sendResponse(unsigned bytes, unsigned cube);
 
     /**
+     * Send a coalesced PEI train of @p peis operations in one
+     * @p bytes-sized request packet (one compound header amortized
+     * across the train).  Counted once in `net.req.*` like any other
+     * packet, plus the `net.trains.*` family; returns arrival tick.
+     */
+    Tick sendRequestTrain(unsigned bytes, unsigned peis, unsigned cube);
+
+    /** Response counterpart of sendRequestTrain. */
+    Tick sendResponseTrain(unsigned bytes, unsigned peis, unsigned cube);
+
+    /**
      * Latency of a posted (zero-payload) acknowledgement from
      * @p cube: the response route's propagation + per-hop latency
      * with no link occupancy (acks aggregate into idle flits).
@@ -120,6 +131,17 @@ class Interconnect
     std::uint64_t requestBytes() const { return stat_req_bytes.value(); }
     std::uint64_t responseFlits() const { return stat_res_flits.value(); }
     std::uint64_t responseBytes() const { return stat_res_bytes.value(); }
+
+    /** PEI-train totals (each train is one injected packet). */
+    std::uint64_t requestTrains() const
+    {
+        return stat_train_req.value();
+    }
+    std::uint64_t responseTrains() const
+    {
+        return stat_train_res.value();
+    }
+    std::uint64_t trainPeis() const { return stat_train_peis.value(); }
 
   private:
     /** One link traversal of a route, plus its exit latency. */
@@ -160,6 +182,9 @@ class Interconnect
     Counter stat_res_bytes;
     Counter stat_req_hops; ///< network hops, summed per packet
     Counter stat_res_hops;
+    Counter stat_train_req;  ///< coalesced PEI request trains sent
+    Counter stat_train_res;  ///< train response packets sent
+    Counter stat_train_peis; ///< PEIs carried by request trains
     std::uint64_t traversal_flits = 0; ///< flits x links crossed
 };
 

@@ -90,12 +90,25 @@ MemSidePcu::MemSidePcu(EventQueue &eq, const PcuConfig &cfg, MemPort &port,
       logic(eq, "mem_pcu" + std::to_string(port.globalId()),
             cfg.operand_buffer_entries, cfg.issue_width, cfg.mem_mhz,
             stats),
+      queue_depth(cfg.issue_queue_depth), mem_mhz(cfg.mem_mhz),
       stat_ops()
 {
-    stats.add("mem_pcu" + std::to_string(port.globalId()) + ".ops",
-              &stat_ops);
-    stats.add("mem_pcu" + std::to_string(port.globalId()) + ".dram_ticks",
-              &hist_dram_ticks);
+    const std::string name = "mem_pcu" + std::to_string(port.globalId());
+    stats.add(name + ".ops", &stat_ops);
+    stats.add(name + ".dram_ticks", &hist_dram_ticks);
+    if (queue_depth > 0) {
+        stats.add(name + ".queue_overflows", &stat_queue_overflows);
+        stats.add(name + ".queue_depth", &hist_queue_depth);
+        stats.addInvariant(
+            name + ".issue queue drains by end of sim",
+            [this] {
+                if (iq.empty() && !decode_busy)
+                    return std::string();
+                return std::to_string(iq.size()) +
+                       " packet(s) still queued" +
+                       std::string(decode_busy ? ", decode busy" : "");
+            });
+    }
 }
 
 void
@@ -104,17 +117,59 @@ MemSidePcu::handle(PimPacket pkt, Respond respond)
     ++stat_ops;
     const std::uint32_t txn =
         ops.emplace(OpTxn{std::move(pkt), std::move(respond)});
-    logic.acquireEntry([this, txn] { entryGranted(txn); });
+    if (queue_depth == 0) {
+        logic.acquireEntry([this, txn] { entryGranted(txn); });
+        return;
+    }
+    // Bounded issue queue ahead of the operand buffer: arrivals
+    // decode serially, one per PCU clock.  The PMU window's credit
+    // gate keeps the queue within depth; uncredited (unbatched)
+    // dispatch may run past it, which is counted, not dropped.
+    hist_queue_depth.record(iq.size());
+    if (iq.size() >= queue_depth)
+        ++stat_queue_overflows;
+    iq.push_back(txn);
+    pumpQueue();
+}
+
+void
+MemSidePcu::pumpQueue()
+{
+    if (decode_busy || iq.empty())
+        return;
+    decode_busy = true;
+    const std::uint32_t txn = iq.front();
+    iq.pop_front();
+    eq.schedule(cyclesToTicks(1, mem_mhz), [this, txn] {
+        decode_busy = false;
+        logic.acquireEntry([this, txn] { entryGranted(txn); });
+        pumpQueue();
+    });
 }
 
 void
 MemSidePcu::entryGranted(std::uint32_t txn)
 {
     // The operand buffer issues the DRAM read immediately, even if
-    // the computation logic is busy (paper §4.2).
+    // the computation logic is busy (paper §4.2).  Multi-block
+    // packets read every element block; the reads overlap and the
+    // compute starts when the last one lands.
     OpTxn &t = ops[txn];
     t.read_start = eq.now();
-    port.accessBlock(t.pkt.paddr, false, [this, txn] { readDone(txn); });
+    if (t.pkt.mb_count <= 1) {
+        port.accessBlock(t.pkt.paddr, false,
+                         [this, txn] { readDone(txn); });
+        return;
+    }
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(blocks, max_pei_target_blocks);
+    t.pending = nb;
+    for (unsigned i = 0; i < nb; ++i) {
+        port.accessBlock(blocks[i], false, [this, txn] {
+            if (--ops[txn].pending == 0)
+                readDone(txn);
+        });
+    }
 }
 
 void
@@ -131,11 +186,23 @@ MemSidePcu::computed(std::uint32_t txn)
 {
     OpTxn &t = ops[txn];
     executePeiFunctional(vm, t.pkt);
-    if (t.pkt.is_writer) {
+    if (!t.pkt.is_writer) {
+        respondNow(txn);
+        return;
+    }
+    if (t.pkt.mb_count <= 1) {
         port.accessBlock(t.pkt.paddr, true,
                          [this, txn] { respondNow(txn); });
-    } else {
-        respondNow(txn);
+        return;
+    }
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(blocks, max_pei_target_blocks);
+    t.pending = nb;
+    for (unsigned i = 0; i < nb; ++i) {
+        port.accessBlock(blocks[i], true, [this, txn] {
+            if (--ops[txn].pending == 0)
+                respondNow(txn);
+        });
     }
 }
 

@@ -33,6 +33,8 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
     fatal_if(!isPowerOf2(nshards),
              "pmu_shards must be a power of two, got %u",
              cfg.pmu_shards);
+    fatal_if(cfg.pei_batch == 0 || cfg.pei_batch > 64,
+             "pei_batch must be in [1, 64], got %u", cfg.pei_batch);
     shard_bits = floorLog2(nshards);
     shard_mask = nshards - 1;
 
@@ -101,11 +103,32 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
         }
     }
 
+    // Batching window: only meaningful where PEIs can actually be
+    // offloaded.  pei_batch == 1 leaves every window field untouched
+    // and the whole dispatch path byte-identical to per-op dispatch.
+    batch_on = cfg.pei_batch > 1 && mem.supportsPim();
+    if (batch_on) {
+        window_ticks =
+            cfg.batch_window_ticks ? cfg.batch_window_ticks : 256;
+        windows.resize(mem.pimUnits());
+        vault_inflight.assign(mem.pimUnits(), 0);
+    }
+
     stats.add("pmu.peis_issued", &stat_peis_issued);
     stats.add("pmu.peis_host", &stat_peis_host);
     stats.add("pmu.peis_mem", &stat_peis_mem);
+    stats.add("pmu.mb_span_host", &stat_mb_span_host);
     stats.add("pmu.peis_mem_writers", &stat_peis_mem_writers);
     stats.add("pmu.peis_mem_readers", &stat_peis_mem_readers);
+    stats.add("pmu.mem_writer_blocks", &stat_mem_writer_blocks);
+    stats.add("pmu.mem_reader_blocks", &stat_mem_reader_blocks);
+    if (batch_on) {
+        stats.add("pmu.batched_peis", &stat_batched_peis);
+        stats.add("pmu.pei_trains", &stat_pei_trains);
+        stats.add("pmu.window_singletons", &stat_window_singletons);
+        stats.add("pmu.batch_stalls", &stat_batch_stalls);
+        stats.add("pmu.window_peis", &hist_window_peis);
+    }
     stats.add("pmu.balanced_to_host", &stat_balanced_to_host);
     stats.add("pmu.balanced_to_mem", &stat_balanced_to_mem);
     stats.add("pmu.saturation_to_mem", &stat_saturation_to_mem);
@@ -126,36 +149,73 @@ Pmu::Pmu(EventQueue &eq, const PimConfig &cfg, unsigned cores,
                    " (PEI lost in the pipeline?)";
         });
     // Offload/coherence conservation: under the eager policy every
-    // memory-side writer PEI performs exactly one back-invalidation
-    // and every memory-side reader PEI exactly one back-writeback
-    // (Fig. 5 step ③).  The cache counters count performed operations
-    // once, so a skipped cleaning step (e.g. simfuzz's --inject-bug
-    // skip-back-inval) breaks the balance.  Deferred policies batch
-    // and elide these actions by design, so the balance is
-    // eager-only; lazy registers its own invariants
-    // (coherence/lazy.cc).
-    if (cfg.coherence.policy == "eager") {
+    // element block of a memory-side writer PEI performs exactly one
+    // back-invalidation and every reader element block exactly one
+    // back-writeback (Fig. 5 step ③).  Classic ops have one element
+    // block, so these are the per-PEI identities of old; gather/
+    // scatter contribute one action per element block.  The cache
+    // counters count performed operations once, so a skipped cleaning
+    // step (e.g. simfuzz's --inject-bug skip-back-inval) breaks the
+    // balance.  The batching window dedups actions across a merged
+    // train and deferred policies batch and elide by design, so the
+    // balance holds only for eager per-op dispatch; lazy registers
+    // its own invariants (coherence/lazy.cc).
+    if (cfg.coherence.policy == "eager" && !batch_on) {
         stats.addInvariant(
-            "pmu.peis_mem_writers == cache.back_invalidations",
+            "pmu.mem_writer_blocks == cache.back_invalidations",
             [this, &stats] {
-                const std::uint64_t w = stat_peis_mem_writers.value();
+                const std::uint64_t w = stat_mem_writer_blocks.value();
                 const std::uint64_t bi =
                     stats.get("cache.back_invalidations");
                 if (w == bi)
                     return std::string();
-                return "mem-side writer PEIs=" + std::to_string(w) +
+                return "mem-side writer blocks=" + std::to_string(w) +
                        " != back-invalidations=" + std::to_string(bi);
             });
         stats.addInvariant(
-            "pmu.peis_mem_readers == cache.back_writebacks",
+            "pmu.mem_reader_blocks == cache.back_writebacks",
             [this, &stats] {
-                const std::uint64_t r = stat_peis_mem_readers.value();
+                const std::uint64_t r = stat_mem_reader_blocks.value();
                 const std::uint64_t bw = stats.get("cache.back_writebacks");
                 if (r == bw)
                     return std::string();
-                return "mem-side reader PEIs=" + std::to_string(r) +
+                return "mem-side reader blocks=" + std::to_string(r) +
                        " != back-writebacks=" + std::to_string(bw);
             });
+    }
+    if (batch_on) {
+        stats.addInvariant(
+            "pmu.batch windows drain by end of sim",
+            [this] {
+                std::size_t parked = 0;
+                for (const auto &w : windows)
+                    parked += w.txns.size();
+                std::uint64_t credits = 0;
+                for (unsigned c : vault_inflight)
+                    credits += c;
+                if (parked == 0 && credits == 0)
+                    return std::string();
+                return std::to_string(parked) +
+                       " PEI(s) still parked in batch windows, " +
+                       std::to_string(credits) +
+                       " vault credit(s) still held";
+            });
+        // Train conservation: every PEI the window dispatched in a
+        // multi-member train rode exactly one interconnect train
+        // (packetized backends only; others fall back to per-op
+        // dispatch inside sendPimTrain).
+        if (std::string(mem.kind()) == "hmc") {
+            stats.addInvariant(
+                "pmu.batched_peis == net.trains.peis",
+                [this, &stats] {
+                    const std::uint64_t b = stat_batched_peis.value();
+                    const std::uint64_t t = stats.get("net.trains.peis");
+                    if (b == t)
+                        return std::string();
+                    return "batched PEIs=" + std::to_string(b) +
+                           " != train-carried PEIs=" + std::to_string(t);
+                });
+        }
     }
     // Sharded PMU: the per-bank invariants (lookup partition,
     // acquire/release balance, writer drain) register inside each
@@ -223,12 +283,9 @@ Pmu::startPei(std::uint32_t txn)
         // PEIs are ordinary host instructions: atomicity is free
         // (ideal zero-cycle directory) and no PCU resources exist.
         PeiTxn &t = txns[txn];
-        const Addr block = t.pkt.paddr >> block_shift;
-        const bool writer = t.pkt.is_writer;
         t.asked = eq.now();
-        dirFor(block).acquire(bankBlock(block), writer,
-                              [this, txn] { idealGranted(txn); },
-                              /*writer_registered=*/writer);
+        buildLockList(t);
+        acquireNextLock(txn);
         return;
     }
 
@@ -255,12 +312,80 @@ void
 Pmu::acquireLock(std::uint32_t txn)
 {
     PeiTxn &t = txns[txn];
-    const Addr block = t.pkt.paddr >> block_shift;
-    const bool writer = t.pkt.is_writer;
     t.asked = eq.now();
-    dirFor(block).acquire(bankBlock(block), writer,
-                          [this, txn] { lockGranted(txn); },
-                          /*writer_registered=*/writer);
+    buildLockList(t);
+    acquireNextLock(txn);
+}
+
+void
+Pmu::buildLockList(PeiTxn &t)
+{
+    const Addr primary = t.pkt.paddr >> block_shift;
+    t.locks_held = 0;
+    if (t.pkt.mb_count <= 1) {
+        t.lock_blocks[0] = primary;
+        t.lock_count = 1;
+        return;
+    }
+    Addr paddrs[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(paddrs, max_pei_target_blocks);
+    struct Lock
+    {
+        unsigned shard;
+        Addr key;
+        Addr block;
+    };
+    Lock locks[max_pei_target_blocks];
+    for (unsigned i = 0; i < nb; ++i) {
+        const Addr block = paddrs[i] >> block_shift;
+        const unsigned shard = shardOf(block);
+        locks[i] = {shard, dirs[shard]->entryKey(bankBlock(block)),
+                    block};
+    }
+    // Ascending (bank, entry-key) acquisition order — globally
+    // consistent across all PEIs, so ordered multi-acquisition
+    // cannot form a wait cycle — with aliased entries acquired once.
+    std::sort(locks, locks + nb, [](const Lock &a, const Lock &b) {
+        return a.shard != b.shard ? a.shard < b.shard : a.key < b.key;
+    });
+    t.lock_count = 0;
+    unsigned i = 0;
+    while (i < nb) {
+        Addr rep = locks[i].block;
+        unsigned j = i;
+        while (j < nb && locks[j].shard == locks[i].shard &&
+               locks[j].key == locks[i].key)
+        {
+            // The primary represents its own entry, so the one
+            // writer-retiring release in finish() lands on the bank
+            // that registerWriter()ed this PEI.
+            if (locks[j].block == primary)
+                rep = primary;
+            ++j;
+        }
+        t.lock_blocks[t.lock_count++] = rep;
+        i = j;
+    }
+}
+
+void
+Pmu::acquireNextLock(std::uint32_t txn)
+{
+    PeiTxn &t = txns[txn];
+    if (t.locks_held == t.lock_count) {
+        if (cfg.mode == ExecMode::IdealHost)
+            idealGranted(txn);
+        else
+            lockGranted(txn);
+        return;
+    }
+    const Addr block = t.lock_blocks[t.locks_held];
+    dirFor(block).acquire(bankBlock(block), t.pkt.is_writer,
+                          Callback([this, txn] {
+                              ++txns[txn].locks_held;
+                              acquireNextLock(txn);
+                          }),
+                          /*writer_registered=*/t.pkt.is_writer);
 }
 
 void
@@ -270,9 +395,39 @@ Pmu::lockGranted(std::uint32_t txn)
     decide(txn);
 }
 
+bool
+Pmu::vaultSpanning(const PimPacket &pkt) const
+{
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = pkt.targetBlocks(blocks, max_pei_target_blocks);
+    const unsigned gv = mem.addrMap().decode(blocks[0]).globalVault;
+    for (unsigned i = 1; i < nb; ++i) {
+        if (mem.addrMap().decode(blocks[i]).globalVault != gv)
+            return true;
+    }
+    return false;
+}
+
 void
 Pmu::decide(std::uint32_t txn)
 {
+    if (cfg.mode == ExecMode::HostOnly) {
+        hostExecute(txn);
+        return;
+    }
+    // A multi-block run executes on a single vault-side PCU, so a
+    // run whose element blocks decode to different vaults (block-
+    // interleaved address maps spread consecutive blocks across
+    // vaults) cannot go memory-side.  The decision stage forces such
+    // runs host-side — the host reaches any address through the
+    // cache hierarchy — generalizing the paper's single-cache-block
+    // restriction to single-vault in every mode, PIM-Only included.
+    if (txns[txn].pkt.mb_count > 1 && mem.supportsPim() &&
+        vaultSpanning(txns[txn].pkt)) {
+        ++stat_mb_span_host;
+        hostExecute(txn);
+        return;
+    }
     switch (cfg.mode) {
       case ExecMode::HostOnly:
         hostExecute(txn);
@@ -381,8 +536,23 @@ Pmu::hostExecuteBuffered(std::uint32_t txn)
     // L1, compute, store back if the PEI modifies the block.
     PeiTxn &t = txns[txn];
     t.load_start = eq.now();
-    hierarchy.access(t.core, t.pkt.paddr, false,
-                     [this, txn] { hostLoaded(txn); });
+    if (t.pkt.mb_count <= 1) {
+        hierarchy.access(t.core, t.pkt.paddr, false,
+                         [this, txn] { hostLoaded(txn); });
+        return;
+    }
+    // Host-side gather/scatter: load every element block through the
+    // core's L1; the loads overlap and the compute starts when the
+    // last one lands.
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(blocks, max_pei_target_blocks);
+    t.mb_pending = nb;
+    for (unsigned i = 0; i < nb; ++i) {
+        hierarchy.access(t.core, blocks[i], false, [this, txn] {
+            if (--txns[txn].mb_pending == 0)
+                hostLoaded(txn);
+        });
+    }
 }
 
 void
@@ -406,11 +576,23 @@ Pmu::hostComputed(std::uint32_t txn)
 {
     PeiTxn &t = txns[txn];
     executePeiFunctional(vm, t.pkt);
-    if (t.pkt.is_writer) {
+    if (!t.pkt.is_writer) {
+        finish(txn, true);
+        return;
+    }
+    if (t.pkt.mb_count <= 1) {
         hierarchy.access(t.core, t.pkt.paddr, true,
                          [this, txn] { finish(txn, true); });
-    } else {
-        finish(txn, true);
+        return;
+    }
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(blocks, max_pei_target_blocks);
+    t.mb_pending = nb;
+    for (unsigned i = 0; i < nb; ++i) {
+        hierarchy.access(t.core, blocks[i], true, [this, txn] {
+            if (--txns[txn].mb_pending == 0)
+                finish(txn, true);
+        });
     }
 }
 
@@ -427,10 +609,23 @@ Pmu::memExecute(std::uint32_t txn)
     const Addr block = t.pkt.paddr >> block_shift;
     if (cfg.mode == ExecMode::LocalityAware)
         monFor(block).onPimIssue(bankBlock(block));
-    if (t.pkt.is_writer)
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(blocks, max_pei_target_blocks);
+    if (t.pkt.is_writer) {
         ++stat_peis_mem_writers;
-    else
+        stat_mem_writer_blocks += nb;
+    } else {
         ++stat_peis_mem_readers;
+        stat_mem_reader_blocks += nb;
+    }
+
+    // Batched dispatch: park the PEI in its vault's coalescing
+    // window; the flush takes the coherence action and the
+    // interconnect trip for the whole train at once.
+    if (batch_on) {
+        windowInsert(txn);
+        return;
+    }
 
     // Fig. 5 step ③: make the on-chip copies of the target block
     // coherent with the offload.  Eager cleans them now
@@ -442,14 +637,143 @@ Pmu::memExecute(std::uint32_t txn)
 }
 
 void
+Pmu::windowInsert(std::uint32_t txn)
+{
+    // A parked PEI keeps holding its directory lock; the window timer
+    // bounds the added latency and guarantees every window drains
+    // even if no further PEI ever arrives.
+    const unsigned gv =
+        mem.addrMap().decode(txns[txn].pkt.paddr).globalVault;
+    BatchWindow &w = windows[gv];
+    w.txns.push_back(txn);
+    if (w.txns.size() >= cfg.pei_batch) {
+        flushWindow(gv);
+        return;
+    }
+    if (w.txns.size() == 1)
+        armWindowTimer(gv);
+}
+
+void
+Pmu::armWindowTimer(unsigned gv)
+{
+    // Generation-checked timeout: a flush bumps timer_gen, voiding
+    // any timer armed for the previous fill.
+    const std::uint64_t gen = windows[gv].timer_gen;
+    eq.schedule(window_ticks, [this, gv, gen] {
+        BatchWindow &w = windows[gv];
+        if (w.timer_gen != gen || w.txns.empty())
+            return;
+        flushWindow(gv);
+    });
+}
+
+void
+Pmu::flushWindow(unsigned gv)
+{
+    BatchWindow &w = windows[gv];
+    if (w.txns.empty())
+        return;
+    ++w.timer_gen; // draining now; void any pending timeout
+    w.flush_pending = false;
+    const unsigned depth = cfg.pcu.issue_queue_depth;
+    while (!w.txns.empty()) {
+        unsigned n = static_cast<unsigned>(
+            std::min<std::size_t>(w.txns.size(), cfg.pei_batch));
+        if (depth > 0) {
+            // Vault-PCU credit gate: never put more packets in flight
+            // than the vault's issue queue can absorb.  A stalled
+            // flush is retried as in-flight members retire (finish).
+            if (vault_inflight[gv] >= depth) {
+                w.flush_pending = true;
+                ++stat_batch_stalls;
+                return;
+            }
+            n = std::min(n, depth - vault_inflight[gv]);
+        }
+        dispatchTrain(gv, n);
+    }
+}
+
+void
+Pmu::dispatchTrain(unsigned gv, unsigned n)
+{
+    BatchWindow &w = windows[gv];
+    const std::uint32_t train = train_txns.emplace(TrainTxn{});
+    TrainTxn &tr = train_txns[train];
+    tr.txns.assign(w.txns.begin(), w.txns.begin() + n);
+    w.txns.erase(w.txns.begin(), w.txns.begin() + n);
+    vault_inflight[gv] += n;
+
+    hist_window_peis.record(n);
+    if (n >= 2) {
+        ++stat_pei_trains;
+        stat_batched_peis += n;
+    } else {
+        ++stat_window_singletons;
+    }
+
+    // One merged coherence action covers the whole train (Fig. 5
+    // step ③ amortized): eager dedups the members' element blocks
+    // into one back-inval/back-writeback set, lazy folds them into
+    // one speculation batch.  Copy the member handles out first: the
+    // ready callback may fire inline and retire the train record.
+    std::uint32_t members[64];
+    for (unsigned i = 0; i < n; ++i)
+        members[i] = tr.txns[i];
+    const PimPacket *pkts[64];
+    std::uint32_t tokens[64] = {};
+    for (unsigned i = 0; i < n; ++i)
+        pkts[i] = &txns[members[i]].pkt;
+    coh->beforeOffloadBatch(
+        pkts, n, Callback([this, train] { offloadTrain(train); }),
+        tokens);
+    for (unsigned i = 0; i < n; ++i)
+        txns[members[i]].coh_token = tokens[i];
+}
+
+void
+Pmu::offloadTrain(std::uint32_t train)
+{
+    // Coherence granted for every member: record the in-flight probe
+    // windows and hand the train to the backend — one compound packet
+    // on HMC, a per-member fallback loop elsewhere.
+    TrainTxn &tr = train_txns[train];
+    const unsigned n = static_cast<unsigned>(tr.txns.size());
+    PimPacket pkts[64];
+    PimHandler::Respond cbs[64];
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint32_t txn = tr.txns[i];
+        PeiTxn &t = txns[txn];
+        pushInflightBlocks(t);
+        pkts[i] = std::move(t.pkt);
+        cbs[i] = [this, txn](PimPacket completed) {
+            memFinish(txn, std::move(completed));
+        };
+    }
+    train_txns.erase(train);
+    mem.sendPimTrain(pkts, n, cbs);
+}
+
+void
+Pmu::pushInflightBlocks(const PeiTxn &t)
+{
+    Addr blocks[max_pei_target_blocks];
+    const unsigned nb = t.pkt.targetBlocks(blocks, max_pei_target_blocks);
+    auto &inflight =
+        t.pkt.is_writer ? mem_writer_blocks : mem_reader_blocks;
+    for (unsigned i = 0; i < nb; ++i)
+        inflight.push_back(blocks[i] >> block_shift);
+}
+
+void
 Pmu::offload(std::uint32_t txn)
 {
-    // The block is clean off-chip from here until retirement; probes
-    // verify no (writer) / no Modified (reader) cached copy exists in
-    // this window.
+    // The blocks are clean off-chip from here until retirement;
+    // probes verify no (writer) / no Modified (reader) cached copy
+    // exists in this window — one record per element block.
     PeiTxn &t = txns[txn];
-    (t.pkt.is_writer ? mem_writer_blocks : mem_reader_blocks)
-        .push_back(t.pkt.paddr >> block_shift);
+    pushInflightBlocks(t);
     mem.sendPim(std::move(t.pkt), [this, txn](PimPacket completed) {
         memFinish(txn, std::move(completed));
     });
@@ -474,21 +798,41 @@ Pmu::finish(std::uint32_t txn, bool executed_at_host)
     } else {
         ++stat_peis_mem;
         hist_pei_latency_mem.record(latency);
+        Addr blocks[max_pei_target_blocks];
+        const unsigned nb =
+            t.pkt.targetBlocks(blocks, max_pei_target_blocks);
         auto &inflight =
             t.pkt.is_writer ? mem_writer_blocks : mem_reader_blocks;
-        const auto it = std::find(inflight.begin(), inflight.end(),
-                                  t.pkt.paddr >> block_shift);
-        panic_if(it == inflight.end(),
-                 "mem-side PEI retired without an in-flight record");
-        inflight.erase(it);
+        for (unsigned i = 0; i < nb; ++i) {
+            const auto it = std::find(inflight.begin(), inflight.end(),
+                                      blocks[i] >> block_shift);
+            panic_if(it == inflight.end(),
+                     "mem-side PEI retired without an in-flight record");
+            inflight.erase(it);
+        }
         coh->onRetire(t.coh_token);
+        if (batch_on) {
+            // Return the vault-PCU credit and retry a flush the
+            // credit gate deferred.
+            const unsigned gv =
+                mem.addrMap().decode(t.pkt.paddr).globalVault;
+            panic_if(vault_inflight[gv] == 0, "vault credit underflow");
+            --vault_inflight[gv];
+            if (windows[gv].flush_pending)
+                flushWindow(gv);
+        }
     }
 
-    // Releasing the directory entry also retires the writer that
-    // executePei registered, waking pfence waiters when it was the
-    // last one in flight.
-    const Addr block = t.pkt.paddr >> block_shift;
-    dirFor(block).release(bankBlock(block), t.pkt.is_writer);
+    // Releasing the primary's directory entry also retires the
+    // writer that executePei registered, waking pfence waiters when
+    // it was the last one in flight; a multi-block run's extra
+    // element locks release without retiring the writer again.
+    const Addr primary = t.pkt.paddr >> block_shift;
+    for (unsigned i = 0; i < t.lock_count; ++i) {
+        const Addr block = t.lock_blocks[i];
+        dirFor(block).release(bankBlock(block), t.pkt.is_writer,
+                              /*count_writer=*/block == primary);
+    }
     // Host-side execution held a host-PCU operand buffer entry;
     // memory-side execution used the vault PCU's buffer instead
     // (released inside MemSidePcu).
@@ -512,7 +856,15 @@ Pmu::pfence(Callback done)
     // which covers the whole PEI pipeline and subsumes the "all
     // entries readable" condition.  A deferred coherence policy also
     // closes its open speculation batch so the fence's ordering
-    // guarantee extends to its commit.
+    // guarantee extends to its commit.  Open batching windows flush
+    // first so parked writers head to memory immediately instead of
+    // waiting out their window timers (a credit-stalled window drains
+    // as its in-flight members retire; the directory keeps tracking
+    // its parked writers either way).
+    if (batch_on) {
+        for (unsigned gv = 0; gv < windows.size(); ++gv)
+            flushWindow(gv);
+    }
     coh->onFence();
     if (dirs.size() == 1) {
         dirs[0]->pfence(std::move(done));

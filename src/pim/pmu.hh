@@ -95,6 +95,24 @@ struct PimConfig
     Ticks pmu_xbar_latency = 8;     ///< core→PMU crossbar hop
 
     /**
+     * PMU batching window (`--pei-batch`): memory-side PEIs bound for
+     * the same vault coalesce into trains of up to this many ops —
+     * one merged coherence action through the CoherencePolicy seam
+     * and one packet train through the interconnect per flush.  1
+     * (the default) bypasses the window entirely and is
+     * byte-identical to per-op dispatch; only meaningful on
+     * PIM-capable backends.  Capped at 64.
+     */
+    unsigned pei_batch = 1;
+
+    /**
+     * Max ticks a non-full window waits before flushing
+     * (`--batch-window-ticks`); 0 picks the default (256 ticks =
+     * 64 ns).  Only consulted when pei_batch > 1.
+     */
+    Ticks batch_window_ticks = 0;
+
+    /**
      * Coherence policy for memory-side offloads (Fig. 5 step ③):
      * "eager" = the paper's per-operation back-inval/back-writeback
      * (bit-identical default); "lazy" = LazyPIM-style batched
@@ -166,6 +184,12 @@ class Pmu
     std::uint64_t peisHost() const { return stat_peis_host.value(); }
     std::uint64_t peisMem() const { return stat_peis_mem.value(); }
 
+    /** Vault-spanning multi-block PEIs forced to host execution. */
+    std::uint64_t peisSpanHost() const
+    {
+        return stat_mb_span_host.value();
+    }
+
     /** PEIs the saturation override diverted memory-side (§7.4). */
     std::uint64_t saturationToMem() const
     {
@@ -208,12 +232,26 @@ class Pmu
         Tick asked = 0;      ///< directory-wait start
         Tick load_start = 0; ///< host cache-load start
         std::uint32_t coh_token = 0; ///< coherence-policy batch token
+        unsigned mb_pending = 0; ///< outstanding multi-block host accesses
+        /**
+         * Directory locks this PEI holds, one representative block
+         * per distinct (bank, entry), in ascending acquisition
+         * order.  Single-block PEIs hold exactly their target block;
+         * multi-block runs lock every element block so the paper's
+         * per-block atomicity (and the probes' stale/dirty-copy
+         * windows) extend to the whole run.
+         */
+        Addr lock_blocks[max_pei_target_blocks] = {};
+        std::uint8_t lock_count = 0;
+        std::uint8_t locks_held = 0; ///< acquisition progress
     };
 
     // Pipeline stages, one per latency edge of the PEI's lifetime.
     void startPei(std::uint32_t txn);
     void idealGranted(std::uint32_t txn);
     void acquireLock(std::uint32_t txn);
+    void buildLockList(PeiTxn &t);
+    void acquireNextLock(std::uint32_t txn);
     void lockGranted(std::uint32_t txn);
     void decide(std::uint32_t txn);
     void decideLookup(std::uint32_t txn);
@@ -225,6 +263,19 @@ class Pmu
     void offload(std::uint32_t txn);
     void memFinish(std::uint32_t txn, PimPacket completed);
     void finish(std::uint32_t txn, bool executed_at_host);
+
+    // Batching-window stages (cfg.pei_batch > 1 on a PIM backend).
+    void windowInsert(std::uint32_t txn);
+    void armWindowTimer(unsigned gv);
+    void flushWindow(unsigned gv);
+    void dispatchTrain(unsigned gv, unsigned n);
+    void offloadTrain(std::uint32_t train);
+
+    /** Record one in-flight probe entry per element block. */
+    void pushInflightBlocks(const PeiTxn &t);
+
+    /** True when @p pkt's element blocks decode to multiple vaults. */
+    bool vaultSpanning(const PimPacket &pkt) const;
 
     /** Balanced-dispatch choice on a locality-monitor miss:
      *  true = offload to memory. */
@@ -262,6 +313,34 @@ class Pmu
 
     SlotPool<PeiTxn> txns; ///< in-flight PEI transaction records
 
+    /**
+     * Per-vault coalescing window (tentpole of the batched-dispatch
+     * pipeline).  Memory-side PEIs park here until the window fills
+     * (cfg.pei_batch), its timer expires (window_ticks) or a pfence
+     * flushes it; a flush takes one merged coherence action and one
+     * interconnect train for the whole batch.  Parked PEIs hold their
+     * directory locks, so the timer is always armed while a window is
+     * non-empty — a window can never strand its members.
+     */
+    struct BatchWindow
+    {
+        std::vector<std::uint32_t> txns; ///< parked PeiTxn handles
+        std::uint64_t timer_gen = 0;     ///< voids stale timer events
+        bool flush_pending = false;      ///< stalled on vault credits
+    };
+
+    /** One dispatched train between coherence grant and offload. */
+    struct TrainTxn
+    {
+        std::vector<std::uint32_t> txns;
+    };
+
+    bool batch_on = false;   ///< pei_batch > 1 on a PIM backend
+    Ticks window_ticks = 0;  ///< resolved batch_window_ticks
+    std::vector<BatchWindow> windows;      ///< one per global vault
+    std::vector<unsigned> vault_inflight;  ///< dispatched, unretired
+    SlotPool<TrainTxn> train_txns;
+
     /** One outstanding sharded pfence: completes when every bank's
      *  fence callback has fired. */
     struct PfenceJoin
@@ -280,6 +359,17 @@ class Pmu
     Counter stat_peis_mem;
     Counter stat_peis_mem_writers; ///< writer PEIs sent memory-side
     Counter stat_peis_mem_readers; ///< reader PEIs sent memory-side
+    /** Element blocks of memory-side writer/reader PEIs (one per
+     *  target block — equals the PEI counters for classic ops, more
+     *  for gather/scatter).  Basis of the eager coherence-conservation
+     *  invariants, which count per-block actions. */
+    Counter stat_mem_writer_blocks;
+    Counter stat_mem_reader_blocks;
+    Counter stat_batched_peis;      ///< PEIs dispatched in trains (>= 2)
+    Counter stat_pei_trains;        ///< trains dispatched (>= 2 members)
+    Counter stat_window_singletons; ///< windows that drained with 1 PEI
+    Counter stat_batch_stalls;      ///< flushes deferred on vault credits
+    Counter stat_mb_span_host;      ///< vault-spanning runs forced host
     Counter stat_balanced_to_host;
     Counter stat_balanced_to_mem;
     Counter stat_saturation_to_mem; ///< monitor hits overridden (§7.4)
@@ -294,6 +384,8 @@ class Pmu
     Histogram hist_dir_wait;
     /** Cache-stage latency of host-executed PEIs (target load). */
     Histogram hist_host_cache;
+    /** PEIs per dispatched window flush (batching only). */
+    Histogram hist_window_peis;
 };
 
 } // namespace pei

@@ -10,6 +10,8 @@
  * bug must be caught quickly and shrink to a tiny reproducer.
  */
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "check/fuzz_case.hh"
@@ -85,7 +87,46 @@ TEST(FuzzProgram, FootprintDisciplineMakesGoldenSound)
             for (const FuzzOp &o : p.streams[ti]) {
                 switch (o.kind) {
                   case OpKind::Pei:
-                    if (peiOpInfo(o.op).writes) {
+                    if (o.op == PeiOpcode::Scatter) {
+                        // Scatter-adds commute only with Inc64
+                        // increments: every element block of the
+                        // strided run must be an Inc64-class shared
+                        // block (an in-block run touches only its
+                        // start block).
+                        std::uint8_t in[max_operand_bytes] = {};
+                        ASSERT_EQ(fillInput(o.op, o.value, in), 24u);
+                        std::uint64_t stride, count;
+                        std::memcpy(&stride, in, 8);
+                        std::memcpy(&count, in + 8, 8);
+                        ASSERT_GE(count, 1u);
+                        ASSERT_LE(count, 8u);
+                        EXPECT_TRUE(stride == 8 || stride == block_size);
+                        const std::uint64_t span =
+                            stride == block_size ? count : 1;
+                        ASSERT_GE(o.block, p.ro_blocks);
+                        ASSERT_LE(o.block + span,
+                                  p.ro_blocks + p.shared_blocks);
+                        for (std::uint64_t i = 0; i < span; ++i) {
+                            EXPECT_EQ(PeiOpcode::Inc64,
+                                      p.shared_class[o.block -
+                                                     p.ro_blocks + i]);
+                        }
+                    } else if (o.op == PeiOpcode::Gather) {
+                        // Gather runs stay inside the read-only
+                        // region, so outputs depend only on the
+                        // initial image.
+                        std::uint8_t in[max_operand_bytes] = {};
+                        ASSERT_EQ(fillInput(o.op, o.value, in), 16u);
+                        std::uint64_t stride, count;
+                        std::memcpy(&stride, in, 8);
+                        std::memcpy(&count, in + 8, 8);
+                        ASSERT_GE(count, 1u);
+                        ASSERT_LE(count, 8u);
+                        EXPECT_TRUE(stride == 8 || stride == block_size);
+                        const std::uint64_t span =
+                            stride == block_size ? count : 1;
+                        EXPECT_LE(o.block + span, p.ro_blocks);
+                    } else if (peiOpInfo(o.op).writes) {
                         // Writers hit shared blocks of their class
                         // only — all interleavings commute.
                         ASSERT_GE(o.block, p.ro_blocks);

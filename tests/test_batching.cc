@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Batched PEI dispatch: PMU coalescing windows, vault-side PCU issue
+ * queues, and the multi-block gather/scatter ops.
+ *
+ * Directed scenarios with hand-computed expectations:
+ *  - a coalesced 4-PEI train shares one compound header (2 request
+ *    flits) where 4 singleton dispatches pay 4;
+ *  - a partial window flushes on the window timer;
+ *  - a depth-1 issue queue backpressures the window (batch stalls);
+ *  - --pei-batch=1 is byte-identical to the default pipeline;
+ *  - gather/scatter produce the same memory image on all three
+ *    backends (hmc / ddr / ideal) and fall back to host execution
+ *    when a block-strided run spans vaults;
+ *  - the energy model charges a train by its actual link flits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "fixture.hh"
+#include "pim/pei_op.hh"
+#include "runtime/runtime.hh"
+
+namespace pei
+{
+namespace
+{
+
+/** Byte address of word @p w inside block @p b of @p base. */
+Addr
+wordAddr(Addr base, unsigned b, unsigned w)
+{
+    return base + b * block_size + w * 8;
+}
+
+// ------------------------------------------------- coalescing window
+
+/**
+ * 4 async inc64 PEIs to 4 distinct blocks of the same vault (tiny
+ * config: 4 global vaults, so a 4-block stride keeps the vault bits
+ * constant), then drain.
+ */
+Task
+sameVaultIncKernel(Ctx &ctx, Addr base, unsigned n)
+{
+    constexpr unsigned vaults = 4;
+    for (unsigned i = 0; i < n; ++i)
+        co_await ctx.inc64(base + i * vaults * block_size);
+    co_await ctx.drain();
+}
+
+/** Run @p n same-vault inc64s under the given batch/queue config. */
+std::map<std::string, std::uint64_t>
+runSameVaultIncs(unsigned n, unsigned pei_batch, unsigned queue_depth,
+                 Tick *end_ticks = nullptr)
+{
+    SystemConfig cfg = fixture::tinyConfig(ExecMode::PimOnly);
+    cfg.pim.pei_batch = pei_batch;
+    cfg.pim.pcu.issue_queue_depth = queue_depth;
+    System sys(cfg);
+    Runtime rt(sys);
+    const Addr base = rt.alloc(16 * block_size);
+    for (unsigned i = 0; i < 16; ++i)
+        sys.memory().write<std::uint64_t>(base + i * block_size, 0);
+
+    rt.spawn(0, [&](Ctx &ctx) { return sameVaultIncKernel(ctx, base, n); });
+    rt.run();
+
+    for (unsigned i = 0; i < n; ++i) {
+        EXPECT_EQ(sys.memory().read<std::uint64_t>(
+                      base + i * 4 * block_size),
+                  1u)
+            << "inc64 #" << i << " lost";
+    }
+    EXPECT_TRUE(sys.stats().audit().empty());
+    if (end_ticks)
+        *end_ticks = sys.eventQueue().now();
+    return sys.stats().snapshot();
+}
+
+TEST(BatchingWindow, CoalescedTrainSharesOneHeader)
+{
+    const auto single = runSameVaultIncs(4, 1, 0);
+    const auto batched = runSameVaultIncs(4, 4, 0);
+
+    // The whole window drains as one train carrying all 4 PEIs.
+    EXPECT_EQ(batched.at("pmu.pei_trains"), 1u);
+    EXPECT_EQ(batched.at("pmu.batched_peis"), 4u);
+    EXPECT_EQ(batched.at("pmu.window_singletons"), 0u);
+    EXPECT_EQ(batched.at("net.trains.req"), 1u);
+    EXPECT_EQ(batched.at("net.trains.peis"), 4u);
+    EXPECT_EQ(single.count("pmu.pei_trains"), 0u); // batch off: no stats
+
+    // Hand-computed request flits (16 B flits): four singleton inc64
+    // packets are 8 B headers -> 1 flit each = 4 flits; one train is
+    // 8 B compound header + 4 x 4 B sub-headers = 24 B -> 2 flits.
+    // Demand traffic is identical across the two runs, so the delta
+    // isolates the PEI dispatch cost.
+    EXPECT_EQ(single.at("net.req.flits") - batched.at("net.req.flits"),
+              2u);
+}
+
+TEST(BatchingWindow, PartialWindowFlushesOnTimer)
+{
+    // 3 PEIs never fill a batch-8 window: only the 256-tick window
+    // timer can flush them.
+    Tick end = 0;
+    const auto stats = runSameVaultIncs(3, 8, 0, &end);
+    EXPECT_EQ(stats.at("pmu.pei_trains"), 1u);
+    EXPECT_EQ(stats.at("pmu.batched_peis"), 3u);
+    EXPECT_GE(end, 256u); // the run waited for the timer
+}
+
+TEST(BatchingWindow, IssueQueueBackpressuresWindow)
+{
+    // Depth-1 vault credit: the first flush puts one packet in
+    // flight, the rest of the window must stall until it retires.
+    const auto stats = runSameVaultIncs(6, 2, 1);
+    EXPECT_GE(stats.at("pmu.batch_stalls"), 1u);
+}
+
+// ---------------------------------------------- batch=1 byte-identity
+
+/** A mixed PEI kernel: inc64, fadd, min64 on distinct blocks. */
+Task
+mixedKernel(Ctx &ctx, Addr base)
+{
+    co_await ctx.inc64(base);
+    co_await ctx.fadd(base + block_size, 1.5);
+    co_await ctx.min64(base + 2 * block_size, 7);
+    co_await ctx.load(base + 3 * block_size);
+    co_await ctx.drain();
+    co_await ctx.pfence();
+}
+
+std::map<std::string, std::uint64_t>
+runMixed(unsigned pei_batch, Ticks window_ticks, Tick *end_ticks)
+{
+    SystemConfig cfg = fixture::tinyConfig(ExecMode::LocalityAware);
+    cfg.pim.pei_batch = pei_batch;
+    cfg.pim.batch_window_ticks = window_ticks;
+    System sys(cfg);
+    Runtime rt(sys);
+    const Addr base = rt.alloc(4 * block_size);
+    for (unsigned i = 0; i < 4; ++i)
+        sys.memory().write<std::uint64_t>(base + i * block_size, 100);
+    rt.spawn(0, [&](Ctx &ctx) { return mixedKernel(ctx, base); });
+    rt.run();
+    EXPECT_TRUE(sys.stats().audit().empty());
+    *end_ticks = sys.eventQueue().now();
+    return sys.stats().snapshot();
+}
+
+TEST(BatchingWindow, BatchOneIsByteIdenticalToDefault)
+{
+    // pei_batch=1 bypasses the window entirely: every counter and
+    // the final tick must match the default pipeline exactly, even
+    // with a non-default window timeout configured.
+    Tick end_default = 0, end_batch1 = 0;
+    const auto def = runMixed(1, 0, &end_default);
+    const auto batch1 = runMixed(1, 77, &end_batch1);
+    EXPECT_EQ(end_default, end_batch1);
+    EXPECT_EQ(def, batch1);
+}
+
+// ------------------------------------------- gather/scatter PEI ops
+
+/**
+ * The directed gather/scatter scenario: an in-block scatter-add, an
+ * in-block gather (checked against the seeded image), and a
+ * block-strided scatter whose blocks span vaults on real geometry.
+ */
+Task
+gatherScatterKernel(Ctx &ctx, Addr base, bool *gather_ok)
+{
+    // words 0..3 of block 0 += 7
+    const ScatterIn s1{8, 4, 7};
+    co_await ctx.pei(PeiOpcode::Scatter, base, &s1, sizeof(s1));
+
+    // gather words 0..7 of block 1 (untouched by the scatters)
+    const GatherIn g1{8, 8};
+    const PimPacket done =
+        co_await ctx.pei(PeiOpcode::Gather, base + block_size, &g1,
+                         sizeof(g1));
+    *gather_ok = done.output_size == 64;
+    for (unsigned w = 0; *gather_ok && w < 8; ++w) {
+        std::uint64_t v;
+        std::memcpy(&v, done.output.data() + w * 8, 8);
+        *gather_ok = v == 100 + w;
+    }
+
+    // word 0 of blocks 2 and 3 += 3 (block stride: spans vaults on
+    // the block-interleaved map -> host fallback on PIM backends)
+    const ScatterIn s2{block_size, 2, 3};
+    co_await ctx.pei(PeiOpcode::Scatter, base + 2 * block_size, &s2,
+                     sizeof(s2));
+    co_await ctx.pfence();
+}
+
+/** Runs the scenario on @p backend; returns the final memory words. */
+std::vector<std::uint64_t>
+runGatherScatter(const char *backend, ExecMode mode,
+                 std::uint64_t *span_host = nullptr)
+{
+    SystemConfig cfg = fixture::tinyConfig(mode);
+    cfg.mem_backend = backend;
+    System sys(cfg);
+    Runtime rt(sys);
+    const Addr base = rt.alloc(4 * block_size);
+    // block b, word w = 100*b + w (block 1 seeds the gather check)
+    for (unsigned b = 0; b < 4; ++b)
+        for (unsigned w = 0; w < 8; ++w)
+            sys.memory().write<std::uint64_t>(wordAddr(base, b, w),
+                                              b == 1 ? 100 + w
+                                                     : 100 * b + w);
+    bool gather_ok = false;
+    rt.spawn(0, [&](Ctx &ctx) {
+        return gatherScatterKernel(ctx, base, &gather_ok);
+    });
+    rt.run();
+    EXPECT_TRUE(gather_ok) << backend << ": gather output mismatch";
+    EXPECT_TRUE(sys.stats().audit().empty()) << backend;
+    if (span_host)
+        *span_host = sys.pmu().peisSpanHost();
+
+    std::vector<std::uint64_t> image;
+    for (unsigned b = 0; b < 4; ++b)
+        for (unsigned w = 0; w < 8; ++w)
+            image.push_back(
+                sys.memory().read<std::uint64_t>(wordAddr(base, b, w)));
+    return image;
+}
+
+TEST(GatherScatter, GoldenEquivalenceAcrossBackends)
+{
+    // Hand-computed golden image of the scenario.
+    std::vector<std::uint64_t> golden;
+    for (unsigned b = 0; b < 4; ++b) {
+        for (unsigned w = 0; w < 8; ++w) {
+            std::uint64_t v = b == 1 ? 100 + w : 100 * b + w;
+            if (b == 0 && w < 4)
+                v += 7; // in-block scatter
+            if ((b == 2 || b == 3) && w == 0)
+                v += 3; // block-strided scatter
+            golden.push_back(v);
+        }
+    }
+
+    const auto hmc = runGatherScatter("hmc", ExecMode::LocalityAware);
+    const auto ddr = runGatherScatter("ddr", ExecMode::LocalityAware);
+    const auto ideal = runGatherScatter("ideal", ExecMode::LocalityAware);
+    EXPECT_EQ(hmc, golden);
+    EXPECT_EQ(ddr, golden);
+    EXPECT_EQ(ideal, golden);
+}
+
+TEST(GatherScatter, VaultSpanningRunFallsBackToHost)
+{
+    // PIM-Only on hmc: the block-strided scatter's two element
+    // blocks decode to adjacent vaults, so it must execute host-side
+    // (counted by pmu.mb_span_host); the in-block ops stay mem-side.
+    std::uint64_t span_host = ~0ull;
+    const auto image =
+        runGatherScatter("hmc", ExecMode::PimOnly, &span_host);
+    EXPECT_EQ(span_host, 1u);
+    EXPECT_EQ(image[2 * 8], 100 * 2 + 0 + 3u); // scatter still landed
+}
+
+// -------------------------------------------------- energy charging
+
+TEST(BatchingEnergy, TrainChargedByActualFlits)
+{
+    // The energy model sums physical "link<N>.flits"; a coalesced
+    // train therefore pays for 2 request flits where 4 singletons
+    // pay 4 (single-cube chain: one request hop).
+    const auto single = runSameVaultIncs(4, 1, 0);
+    const auto batched = runSameVaultIncs(4, 4, 0);
+
+    StatRegistry single_reg, batched_reg;
+    std::vector<Counter> keep(single.size() + batched.size());
+    std::size_t k = 0;
+    for (const auto &[name, value] : single) {
+        keep[k] += value;
+        single_reg.add(name, &keep[k++]);
+    }
+    for (const auto &[name, value] : batched) {
+        keep[k] += value;
+        batched_reg.add(name, &keep[k++]);
+    }
+
+    const EnergyParams p;
+    const EnergyBreakdown es = computeEnergy(single_reg, p);
+    const EnergyBreakdown eb = computeEnergy(batched_reg, p);
+    EXPECT_DOUBLE_EQ(es.offchip - eb.offchip, 2.0 * p.link_flit_pj);
+}
+
+} // namespace
+} // namespace pei
